@@ -1,0 +1,54 @@
+"""Shared fixtures for the figure benchmarks.
+
+Two analysis contexts are shared across all benches:
+
+* ``ctx`` — the default scale (presets.small, ~8K nodes, ~70K edges) used
+  by Figures 1-7;
+* ``ctx_merge`` — the merge-study scale (slower growth, bigger pre-merge
+  populations) used by Figures 8-9.
+
+Benchmarks run each experiment once (``benchmark.pedantic``) — the
+workloads are seconds-long analyses, not microbenchmarks — and print the
+measured findings next to the paper's numbers (run with ``-s`` to see
+them; EXPERIMENTS.md records a full set).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisContext
+from repro.gen.config import presets
+
+
+@pytest.fixture(scope="session")
+def ctx() -> AnalysisContext:
+    """Default-scale context; the stream is generated eagerly so individual
+    benches time the analysis, not the generator."""
+    context = AnalysisContext(presets.small(), seed=7)
+    _ = context.stream
+    return context
+
+
+@pytest.fixture(scope="session")
+def ctx_merge() -> AnalysisContext:
+    """Merge-study context for the §5 experiments."""
+    context = AnalysisContext(presets.merge_study(), seed=7)
+    _ = context.stream
+    return context
+
+
+@pytest.fixture()
+def run_and_report(benchmark):
+    """Run one registered experiment under the benchmark and print its report."""
+    from repro.analysis import run_experiment
+
+    def runner(experiment: str, context: AnalysisContext):
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment, context), rounds=1, iterations=1
+        )
+        print()
+        result.print_summary()
+        return result
+
+    return runner

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Figure 1: network growth and graph metrics."""
+
+import numpy as np
+
+def test_fig1a_absolute_growth(run_and_report, ctx):
+    result = run_and_report("F1a", ctx)
+    # The merge must appear as a one-day jump in edge creation.
+    assert result.findings["merge_day_edge_jump_factor"] > 2.0
+
+
+def test_fig1b_relative_growth(run_and_report, ctx):
+    result = run_and_report("F1b", ctx)
+    # Relative growth stabilizes: late fluctuation below early fluctuation.
+    assert result.findings["late_relative_growth_std"] < result.findings["early_relative_growth_std"]
+
+
+def test_fig1c_average_degree(run_and_report, ctx):
+    result = run_and_report("F1c", ctx)
+    assert result.findings["final_value"] > result.findings["first_value"]
+    # The sparse 5Q import pulls average degree down.
+    assert result.findings["post_merge_value"] < result.findings["pre_merge_value"]
+
+
+def test_fig1d_path_length(run_and_report, ctx):
+    result = run_and_report("F1d", ctx)
+    # Path length jumps at the merge...
+    assert result.findings["post_merge_value"] > result.findings["pre_merge_value"]
+    # ...then densification keeps it in the small-world range.
+    assert result.findings["final_value"] < 6.0
+
+
+def test_fig1e_clustering(run_and_report, ctx):
+    result = run_and_report("F1e", ctx)
+    # High early clustering decays smoothly.
+    assert result.findings["first_value"] > 0.4
+    assert result.findings["final_value"] < result.findings["first_value"]
+
+
+def test_fig1f_assortativity(run_and_report, ctx):
+    result = run_and_report("F1f", ctx)
+    # Strongly negative early, evening out toward ~0.
+    assert result.findings["first_value"] < -0.05
+    assert abs(result.findings["final_value"]) < 0.3

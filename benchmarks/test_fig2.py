@@ -1,0 +1,20 @@
+"""Benchmarks regenerating Figure 2: time dynamics of edge creation."""
+
+def test_fig2a_interarrival(run_and_report, ctx):
+    result = run_and_report("F2a", ctx)
+    # Paper: power-law inter-arrival with exponent between 1.8 and 2.5.
+    assert 1.5 < result.findings["exponent_min"]
+    assert result.findings["exponent_max"] < 3.0
+
+
+def test_fig2b_lifetime(run_and_report, ctx):
+    result = run_and_report("F2b", ctx)
+    # Users create most friendships early in their lifetime.
+    assert result.findings["front_loading_ratio"] > 1.5
+    assert result.findings["qualifying_users"] > 100
+
+
+def test_fig2c_node_age(run_and_report, ctx):
+    result = run_and_report("F2c", ctx)
+    # The share of edges driven by young nodes declines as the network matures.
+    assert result.findings["share_drop"] > 0.0

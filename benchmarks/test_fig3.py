@@ -1,0 +1,17 @@
+"""Benchmarks regenerating Figure 3: preferential-attachment strength."""
+
+def test_fig3ab_pe_fit(run_and_report, ctx):
+    result = run_and_report("F3ab", ctx)
+    # The fit is tight under both destination rules (paper: tiny MSE), and
+    # the higher-degree rule upper-bounds the random rule.
+    assert result.findings["mse[higher_degree]"] < 1e-3
+    assert result.findings["mse[random]"] < 1e-3
+    assert result.findings["alpha[higher_degree]"] > result.findings["alpha[random]"]
+
+
+def test_fig3c_alpha_decay(run_and_report, ctx):
+    result = run_and_report("F3c", ctx)
+    # Alpha decays as the network grows (paper: 1.25 -> 0.65 at full scale).
+    assert result.findings["alpha_decay[higher_degree]"] > 0.1
+    # The two destination rules stay a roughly constant ~0.2 apart.
+    assert 0.05 < result.findings["mean_rule_gap"] < 0.5

@@ -1,0 +1,25 @@
+"""Benchmarks regenerating Figure 4: community tracking and delta sensitivity."""
+
+
+def test_fig4a_modularity(run_and_report, ctx):
+    result = run_and_report("F4a", ctx)
+    # Paper: modularity indicates strong community structure (> 0.4; > 0.3
+    # is the significance bar) and the choice of delta barely matters.
+    values = [v for k, v in result.findings.items() if k.startswith("late_modularity")]
+    assert min(values) > 0.3
+    assert max(values) - min(values) < 0.15
+
+
+def test_fig4b_similarity(run_and_report, ctx):
+    result = run_and_report("F4b", ctx)
+    sims = {k: v for k, v in result.findings.items() if k.startswith("mean_similarity")}
+    # Tracking is meaningful (similarity well above random) for usable deltas.
+    assert sims["mean_similarity[delta=0.01]"] > 0.3
+
+
+def test_fig4c_size_by_delta(run_and_report, ctx):
+    result = run_and_report("F4c", ctx)
+    counts = {k: v for k, v in result.findings.items() if k.startswith("num_communities")}
+    # Insensitive to delta once delta >= 0.01 (within a factor of ~2).
+    stable = [counts[f"num_communities[delta={d}]"] for d in ("0.01", "0.1", "0.3")]
+    assert max(stable) <= 2 * min(stable)

@@ -1,0 +1,42 @@
+"""Benchmarks regenerating Figure 6: merge/split dynamics and prediction.
+
+Scale note (also in EXPERIMENTS.md): the paper's merge statistics come from
+thousands of events where tiny communities are absorbed by giants.  At
+laptop scale Louvain's resolution limit leaves only a handful of large
+communities, so merges here are fusions of comparable blobs: the event
+*pipeline* is asserted (events detected, ratios defined, tie info present)
+while the full-scale asymmetry numbers are recorded, not asserted.
+"""
+
+import pytest
+
+
+def test_fig6a_size_ratio(run_and_report, ctx):
+    result = run_and_report("F6a", ctx)
+    # The tracker detects both event kinds and produces well-defined ratios.
+    assert result.findings.get("n_merges", 0) + result.findings.get("n_splits", 0) >= 5
+    if "median_merge_ratio" in result.findings:
+        assert 0.0 <= result.findings["median_merge_ratio"] <= 1.0
+    if "median_split_ratio" in result.findings:
+        assert 0.0 <= result.findings["median_split_ratio"] <= 1.0
+
+
+def test_fig6b_merge_prediction(run_and_report, ctx):
+    try:
+        result = run_and_report("F6b", ctx)
+    except ValueError as exc:
+        pytest.skip(f"too few merge samples at this scale: {exc}")
+    # Paper: ~75% / ~77% per-class accuracy.  At compressed scale the merge
+    # class is tiny, so we require the majority class to be well-predicted
+    # and the minority class to be reported.
+    assert result.findings["no_merge_accuracy"] > 0.6
+    assert "merge_accuracy" in result.findings
+
+
+def test_fig6c_strongest_tie(run_and_report, ctx):
+    result = run_and_report("F6c", ctx)
+    # Paper: 99% of merges follow the strongest inter-community tie.  The
+    # rule is evaluated for every merge with tie information; the hit rate
+    # is recorded (high-variance with <10 events at this scale).
+    assert result.findings.get("n_merges_with_tie_info", 0) >= 1
+    assert 0.0 <= result.findings["strongest_tie_hit_rate"] <= 1.0

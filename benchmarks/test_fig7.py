@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Figure 7: community impact on user activity."""
+
+
+def test_fig7a_interarrival(run_and_report, ctx):
+    result = run_and_report("F7a", ctx)
+    assert "median_gap[community]" in result.findings
+    # Community users create edges at least as frequently as outsiders.
+    if "median_gap_ratio" in result.findings:
+        assert result.findings["median_gap_ratio"] >= 0.8
+
+
+def test_fig7b_lifetime(run_and_report, ctx):
+    result = run_and_report("F7b", ctx)
+    lifetimes = {k: v for k, v in result.findings.items() if k.startswith("mean_lifetime")}
+    assert len(lifetimes) >= 2
+    # Community users outlive non-community users (paper Fig 7b).
+    community_means = [v for k, v in lifetimes.items() if "non_community" not in k]
+    if "mean_lifetime[non_community]" in lifetimes and community_means:
+        assert max(community_means) > lifetimes["mean_lifetime[non_community]"]
+
+
+def test_fig7c_indegree_ratio(run_and_report, ctx):
+    result = run_and_report("F7c", ctx)
+    ratios = {k: v for k, v in result.findings.items() if k.startswith("mean_in_ratio")}
+    assert ratios
+    # Users in the largest bucket are most internally active.
+    ordered = list(ratios.values())
+    assert ordered[-1] >= min(ordered)

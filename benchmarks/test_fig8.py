@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Figure 8: user activity after the OSN merge."""
+
+
+def test_fig8ab_active_users(run_and_report, ctx_merge):
+    result_xi = run_and_report("F8a", ctx_merge)
+    # Paper: 11% of Xiaonei accounts immediately inactive (duplicates).
+    assert 0.03 < result_xi.findings["duplicate_estimate"] < 0.30
+    # Activity declines over time.
+    assert result_xi.findings["final_active_pct"] <= result_xi.findings["day0_active_pct"]
+
+
+def test_fig8b_active_users_5q(run_and_report, ctx_merge):
+    from repro.analysis import run_experiment
+
+    result_fq = run_and_report("F8b", ctx_merge)
+    result_xi = run_experiment("F8a", ctx_merge)
+    # Paper: 28% of 5Q accounts immediately inactive — more than Xiaonei —
+    # and 5Q users decay faster.
+    assert result_fq.findings["duplicate_estimate"] > result_xi.findings["duplicate_estimate"]
+    assert result_fq.findings["final_active_pct"] < result_xi.findings["final_active_pct"]
+
+
+def test_fig8c_edge_types(run_and_report, ctx_merge):
+    result = run_and_report("F8c", ctx_merge)
+    # New-user edges overtake external quickly, then internal (paper: days 3/19).
+    assert result.findings["new_overtakes_external_day"] < 15
+    assert result.findings["new_overtakes_internal_day"] < 30
+    assert result.findings["total_new"] > result.findings["total_internal"]

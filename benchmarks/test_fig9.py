@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Figure 9: edge-type ratios and cross-OSN distance."""
+
+import numpy as np
+
+
+def test_fig9a_int_ext_ratio(run_and_report, ctx_merge):
+    result = run_and_report("F9a", ctx_merge)
+    # Xiaonei stays internal-heavy; 5Q sinks below it (paper: below 1 by day 16).
+    assert result.findings["mean_ratio[xiaonei]"] > 1.0
+    assert result.findings["mean_ratio[fivq]"] < result.findings["mean_ratio[xiaonei]"]
+    assert result.findings["mean_ratio[both]"] > 1.0
+
+
+def test_fig9b_new_ext_ratio(run_and_report, ctx_merge):
+    result = run_and_report("F9b", ctx_merge)
+    # Both OSNs eventually tip toward new users; Xiaonei earlier than 5Q
+    # (paper: day 5 vs day 32).
+    tip_xi = result.findings.get("tip_day[xiaonei]", np.nan)
+    tip_fq = result.findings.get("tip_day[fivq]", np.nan)
+    assert np.isfinite(tip_xi)
+    if np.isfinite(tip_fq):
+        assert tip_xi <= tip_fq
+
+
+def test_fig9c_distance(run_and_report, ctx_merge):
+    result = run_and_report("F9c", ctx_merge)
+    # Distance starts high and collapses to a low asymptote (paper: <2 hops
+    # within ~47 days; <1.5 by the end).
+    assert result.findings["initial_distance"] > result.findings["final_distance[xiaonei_to_5q]"]
+    assert result.findings["final_distance[xiaonei_to_5q]"] < 2.0
+    assert "day_both_below_2_hops" in result.findings

@@ -1,0 +1,44 @@
+"""Seed-robustness benchmark: the key directional findings across seeds.
+
+Runs the cheapest headline experiments on three seeds and asserts the
+paper's directional claims hold on *every* seed, not just the default
+trace (the claims benchmarked per-figure elsewhere use one seed).
+"""
+
+from repro.analysis.robustness import seed_sweep
+from repro.gen.config import presets
+
+_SEEDS = (1, 2, 3)
+
+
+def test_robust_front_loading(benchmark):
+    """Fig 2(b): edge creation is front-loaded on every seed."""
+    cfg = presets.tiny(days=50, target_nodes=900)
+    spreads = benchmark.pedantic(
+        lambda: seed_sweep("F2b", cfg, seeds=_SEEDS), rounds=1, iterations=1
+    )
+    ratio = spreads["front_loading_ratio"]
+    print(f"\n  front_loading_ratio: {ratio.ci}")
+    assert all(v > 1.0 for v in ratio.values)
+
+
+def test_robust_alpha_rule_gap(benchmark):
+    """Fig 3(c): the higher-degree rule exceeds the random rule on every seed."""
+    cfg = presets.tiny(days=50, target_nodes=900)
+    spreads = benchmark.pedantic(
+        lambda: seed_sweep("F3c", cfg, seeds=_SEEDS), rounds=1, iterations=1
+    )
+    gap = spreads["mean_rule_gap"]
+    print(f"\n  mean_rule_gap: {gap.ci}")
+    assert gap.all_positive
+
+
+def test_robust_young_share_drop(benchmark):
+    """Fig 2(c): the young-node edge share declines on every seed."""
+    cfg = presets.tiny(days=50, target_nodes=900)
+    spreads = benchmark.pedantic(
+        lambda: seed_sweep("F2c", cfg, seeds=_SEEDS), rounds=1, iterations=1
+    )
+    drop = spreads["share_drop"]
+    print(f"\n  share_drop: {drop.ci}")
+    assert sum(v > 0 for v in drop.values) >= 2  # at least 2 of 3 seeds

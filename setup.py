@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run PEP 660
+editable builds; this shim lets ``pip install -e . --no-use-pep517`` (or
+``python setup.py develop``) work everywhere.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

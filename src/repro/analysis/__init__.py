@@ -1,0 +1,24 @@
+"""Experiment drivers: one callable per paper figure panel.
+
+:class:`~repro.analysis.context.AnalysisContext` generates and caches the
+shared heavy artifacts (trace, snapshot replays, community tracking run);
+the ``figN`` modules turn them into the exact series each paper figure
+plots; :mod:`~repro.analysis.experiments` registers everything under the
+experiment ids used in DESIGN.md/EXPERIMENTS.md (F1a ... F9c).
+"""
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,108 @@
+"""Shared, lazily computed artifacts for the experiment drivers.
+
+Most figure panels reuse the same expensive intermediates — the generated
+event stream, the community-tracking run, the post-merge edge rates.  An
+:class:`AnalysisContext` computes each at most once per instance.
+"""
+
+from __future__ import annotations
+
+from repro.community.tracking import CommunityTracker, track_stream
+from repro.gen.config import GeneratorConfig
+from repro.gen.renren import generate_trace
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.events import EventStream
+from repro.graph.snapshot import GraphSnapshot
+from repro.metrics.timeseries import MetricTimeseries, compute_metric_timeseries, standard_metrics
+from repro.osnmerge.activity import activity_threshold
+from repro.osnmerge.edge_rates import EdgeRateSeries, edges_per_day_by_type
+
+__all__ = ["AnalysisContext"]
+
+
+class AnalysisContext:
+    """Config + seed plus caches for everything the figures share.
+
+    ``tracking_interval`` controls the community-snapshot cadence (the
+    paper uses 3 days; compressed traces can afford the same).
+    """
+
+    def __init__(
+        self,
+        config: GeneratorConfig,
+        seed: int = 0,
+        tracking_interval: float = 3.0,
+        tracking_delta: float = 0.04,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.tracking_interval = tracking_interval
+        self.tracking_delta = tracking_delta
+        self._stream: EventStream | None = None
+        self._tracker: CommunityTracker | None = None
+        self._final_graph: GraphSnapshot | None = None
+        self._edge_rates: EdgeRateSeries | None = None
+        self._activity_threshold: float | None = None
+        self._metrics: MetricTimeseries | None = None
+
+    @property
+    def merge_day(self) -> float:
+        """The configured merge day; raises if the config has no merge."""
+        if self.config.merge is None:
+            raise ValueError("this context's config has no merge event")
+        return float(int(self.config.merge.merge_day))
+
+    @property
+    def stream(self) -> EventStream:
+        """The generated event stream (cached)."""
+        if self._stream is None:
+            self._stream = generate_trace(self.config, seed=self.seed)
+        return self._stream
+
+    @property
+    def tracker(self) -> CommunityTracker:
+        """A completed community-tracking run over the stream (cached)."""
+        if self._tracker is None:
+            self._tracker = track_stream(
+                self.stream,
+                interval=self.tracking_interval,
+                delta=self.tracking_delta,
+                seed=self.seed,
+            )
+        return self._tracker
+
+    @property
+    def final_graph(self) -> GraphSnapshot:
+        """The full graph at the end of the trace (cached)."""
+        if self._final_graph is None:
+            self._final_graph = DynamicGraph(self.stream).final()
+        return self._final_graph
+
+    @property
+    def edge_rates(self) -> EdgeRateSeries:
+        """Post-merge per-day edge counts by class (cached)."""
+        if self._edge_rates is None:
+            self._edge_rates = edges_per_day_by_type(self.stream, self.merge_day)
+        return self._edge_rates
+
+    @property
+    def metrics(self) -> MetricTimeseries:
+        """Figure-1 metric timeseries (degree, path length, clustering,
+        assortativity), sampled ~40 times over the trace (cached)."""
+        if self._metrics is None:
+            interval = max(2.0, self.config.days / 40.0)
+            self._metrics = compute_metric_timeseries(
+                self.stream,
+                standard_metrics(path_sample=200, clustering_sample=800, seed=self.seed),
+                interval=interval,
+            )
+        return self._metrics
+
+    @property
+    def activity_threshold_days(self) -> float:
+        """Data-derived activity threshold (cached; capped at the post-merge span)."""
+        if self._activity_threshold is None:
+            t = activity_threshold(self.stream)
+            span = self.stream.end_time - self.merge_day if self.config.merge else t
+            self._activity_threshold = min(t, max(1.0, span / 4.0))
+        return self._activity_threshold

@@ -1,0 +1,104 @@
+"""Figure 2 drivers: time dynamics of edge creation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.experiments import ExperimentResult, finite, register, series_from
+from repro.edges.interarrival import (
+    collect_interarrivals_by_age,
+    interarrival_pdf_by_bucket,
+    scaled_age_buckets,
+)
+from repro.edges.lifetime import edge_creation_over_lifetime
+from repro.edges.node_age import minimal_age_fractions
+from repro.edges.powerlaw import fit_power_law_mle
+
+__all__ = []
+
+
+@register("F2a")
+def fig2a(ctx: AnalysisContext) -> ExperimentResult:
+    """Edge inter-arrival PDFs per node-age bucket follow a power law."""
+    buckets = scaled_age_buckets(ctx.config.days)
+    pdfs = interarrival_pdf_by_bucket(ctx.stream, buckets)
+    collected = collect_interarrivals_by_age(ctx.stream, buckets)
+    result = ExperimentResult(
+        experiment="F2a",
+        title="Edge inter-arrival time PDFs by node age bucket",
+        paper={"exponents": "power law, exponent between 1.8 and 2.5"},
+    )
+    exponents = []
+    for label, (x, y) in pdfs.items():
+        result.series[label] = series_from(x, y)
+        gaps = collected[label]
+        gaps = gaps[gaps > 0]
+        if gaps.size >= 50:
+            # Fit the tail (xmin at the median) — the bulk mixes same-day
+            # burst gaps with the power-law regime the paper measures.
+            fit = fit_power_law_mle(gaps, xmin=max(float(np.quantile(gaps, 0.5)), 1e-3))
+            result.findings[f"exponent[{label}]"] = fit.exponent
+            exponents.append(fit.exponent)
+    if exponents:
+        result.findings["exponent_min"] = float(min(exponents))
+        result.findings["exponent_max"] = float(max(exponents))
+    result.findings = finite(result.findings)
+    return result
+
+
+@register("F2b")
+def fig2b(ctx: AnalysisContext) -> ExperimentResult:
+    """Users create most of their edges early in their normalized lifetime."""
+    min_history = min(30.0, ctx.config.days / 5.0)
+    centers, fractions, n_users = edge_creation_over_lifetime(
+        ctx.stream, bins=10, min_history_days=min_history, min_degree=10
+    )
+    first_bin = float(fractions[0]) if fractions.size else float("nan")
+    last_bin = float(fractions[-1]) if fractions.size else float("nan")
+    return ExperimentResult(
+        experiment="F2b",
+        title="Edge creation over normalized user lifetime",
+        series={"mean_fraction": series_from(centers, fractions)},
+        findings=finite(
+            {
+                "first_bin_fraction": first_bin,
+                "last_bin_fraction": last_bin,
+                "front_loading_ratio": first_bin / last_bin if last_bin > 0 else float("nan"),
+                "qualifying_users": float(n_users),
+            }
+        ),
+        paper={
+            "first_bin_fraction": "~0.4-0.5 of edges in the first 10% of lifetime",
+            "front_loading_ratio": "strongly front-loaded, converging to a constant rate",
+        },
+    )
+
+
+@register("F2c")
+def fig2c(ctx: AnalysisContext) -> ExperimentResult:
+    """Share of daily edges driven by young nodes declines as the network matures."""
+    scale = ctx.config.days / 771.0
+    thresholds = (max(1.0, round(1.0 * scale)), max(2.0, round(10 * scale)), max(4.0, round(30 * scale)))
+    days, fractions = minimal_age_fractions(ctx.stream, thresholds=thresholds)
+    result = ExperimentResult(
+        experiment="F2c",
+        title="Portion of daily new edges by minimal endpoint age",
+        paper={
+            "oldest_threshold_trend": "drops from ~95% to ~48% as the network matures",
+        },
+    )
+    for thr, series in fractions.items():
+        result.series[f"min_age<={thr:g}d"] = series_from(days, series)
+    top = fractions[thresholds[-1]]
+    valid = np.isfinite(top)
+    early = top[valid][: max(1, valid.sum() // 4)]
+    late = top[valid][-max(1, valid.sum() // 4):]
+    result.findings = finite(
+        {
+            "early_young_edge_share": float(np.nanmean(early)),
+            "late_young_edge_share": float(np.nanmean(late)),
+            "share_drop": float(np.nanmean(early) - np.nanmean(late)),
+        }
+    )
+    return result

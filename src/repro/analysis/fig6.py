@@ -1,0 +1,113 @@
+"""Figure 6 drivers: community merging/splitting and merge prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.experiments import ExperimentResult, finite, register, series_from
+from repro.community.merge_split import (
+    merge_size_ratios,
+    split_size_ratios,
+    strongest_tie_rate,
+)
+from repro.ml.prediction import predict_merges
+from repro.util.binning import empirical_cdf
+
+__all__ = []
+
+
+@register("F6a")
+def fig6a(ctx: AnalysisContext) -> ExperimentResult:
+    """Merges are wildly asymmetric in size; splits are balanced."""
+    tracker = ctx.tracker
+    merge_ratios = merge_size_ratios(tracker)
+    split_ratios = split_size_ratios(tracker)
+    result = ExperimentResult(
+        experiment="F6a",
+        title="Size ratio CDFs for community merges and splits",
+        paper={
+            "median_merge_ratio": "80% of merge pairs have ratio < 0.005 (full scale)",
+            "frac_split_ratio>0.5": "70% of split pairs have ratio > 0.5",
+        },
+    )
+    if merge_ratios.size:
+        xs, ys = empirical_cdf(merge_ratios)
+        result.series["merge"] = series_from(xs, ys)
+        result.findings["median_merge_ratio"] = float(np.median(merge_ratios))
+        result.findings["n_merges"] = float(merge_ratios.size)
+    if split_ratios.size:
+        xs, ys = empirical_cdf(split_ratios)
+        result.series["split"] = series_from(xs, ys)
+        result.findings["frac_split_ratio>0.5"] = float((split_ratios > 0.5).mean())
+        result.findings["median_split_ratio"] = float(np.median(split_ratios))
+        result.findings["n_splits"] = float(split_ratios.size)
+    if merge_ratios.size and split_ratios.size:
+        result.findings["merge_vs_split_median_gap"] = float(
+            np.median(split_ratios) - np.median(merge_ratios)
+        )
+    result.findings = finite(result.findings)
+    return result
+
+
+@register("F6b")
+def fig6b(ctx: AnalysisContext) -> ExperimentResult:
+    """SVM prediction of next-snapshot community merges."""
+    exclude = (ctx.merge_day,) if ctx.config.merge is not None else ()
+    outcome = predict_merges(
+        ctx.tracker,
+        exclude_times=exclude,
+        age_bucket_days=max(ctx.tracking_interval * 2, ctx.config.days / 16),
+        folds=5,  # pooled cross-validation: stable with a tiny merge class
+        seed=ctx.seed,
+    )
+    result = ExperimentResult(
+        experiment="F6b",
+        title="Accuracy of next-snapshot merge prediction (linear SVM)",
+        findings=finite(
+            {
+                "merge_accuracy": outcome.overall.merge_accuracy,
+                "no_merge_accuracy": outcome.overall.no_merge_accuracy,
+                "n_train": float(outcome.n_train),
+                "n_test": float(outcome.n_test),
+                "positive_rate": outcome.positive_rate,
+            }
+        ),
+        paper={
+            "merge_accuracy": "average 75% (full scale)",
+            "no_merge_accuracy": "average 77%",
+        },
+    )
+    ages = sorted(outcome.by_age)
+    if ages:
+        result.series["merge_accuracy_by_age"] = series_from(
+            ages, [outcome.by_age[a].merge_accuracy for a in ages]
+        )
+        result.series["no_merge_accuracy_by_age"] = series_from(
+            ages, [outcome.by_age[a].no_merge_accuracy for a in ages]
+        )
+    return result
+
+
+@register("F6c")
+def fig6c(ctx: AnalysisContext) -> ExperimentResult:
+    """Communities merge into the peer with the strongest tie (~99%)."""
+    summary = strongest_tie_rate(ctx.tracker)
+    hits = np.asarray(summary.hit_times)
+    misses = np.asarray(summary.miss_times)
+    result = ExperimentResult(
+        experiment="F6c",
+        title="Merge destination vs strongest inter-community tie",
+        findings=finite(
+            {
+                "strongest_tie_hit_rate": summary.hit_rate,
+                "n_merges_with_tie_info": float(summary.with_tie_info),
+            }
+        ),
+        paper={"strongest_tie_hit_rate": "99% (full scale)"},
+    )
+    if hits.size:
+        result.series["hits"] = series_from(hits, np.ones_like(hits))
+    if misses.size:
+        result.series["misses"] = series_from(misses, np.zeros_like(misses))
+    return result

@@ -1,0 +1,106 @@
+"""Figure 9 drivers: edge-type ratios and cross-OSN distance after the merge."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.experiments import ExperimentResult, finite, register, series_from
+from repro.graph.events import ORIGIN_5Q, ORIGIN_XIAONEI
+from repro.osnmerge.distance import cross_network_distance
+from repro.osnmerge.edge_rates import internal_external_ratio, new_external_ratio
+
+__all__ = []
+
+
+@register("F9a")
+def fig9a(ctx: AnalysisContext) -> ExperimentResult:
+    """Internal/external ratio: Xiaonei stays internal-heavy, 5Q flips below 1."""
+    ratios = internal_external_ratio(ctx.edge_rates)
+    result = ExperimentResult(
+        experiment="F9a",
+        title="Ratio of internal to external edges per day",
+        paper={
+            "mean_ratio[xiaonei]": "> 1 throughout (Xiaonei users create 2x+ more edges)",
+            "mean_ratio[fivq]": "drops below 1 permanently by day 16",
+            "mean_ratio[both]": "always > 1 (weighted up by Xiaonei activity)",
+        },
+    )
+    days = ctx.edge_rates.days
+    for key, label in ((ORIGIN_XIAONEI, "xiaonei"), (ORIGIN_5Q, "fivq"), ("both", "both")):
+        series = ratios[key]
+        result.series[label] = series_from(days, series)
+        valid = np.isfinite(series[1:])
+        if valid.any():
+            result.findings[f"mean_ratio[{label}]"] = float(np.nanmean(series[1:]))
+    if np.isfinite(ratios[ORIGIN_5Q][1:]).any():
+        below = np.nanmean(ratios[ORIGIN_5Q][1:]) < np.nanmean(ratios[ORIGIN_XIAONEI][1:])
+        result.findings["fivq_below_xiaonei"] = float(below)
+    result.findings = finite(result.findings)
+    return result
+
+
+@register("F9b")
+def fig9b(ctx: AnalysisContext) -> ExperimentResult:
+    """New/external ratio tips above 1 — earlier for Xiaonei than for 5Q."""
+    ratios = new_external_ratio(ctx.edge_rates)
+    result = ExperimentResult(
+        experiment="F9b",
+        title="Ratio of edges to new users vs external edges per day",
+        paper={
+            "tip_day[xiaonei]": "ratio >= 1 from day 5 (full scale)",
+            "tip_day[fivq]": "ratio >= 1 from day 32",
+        },
+    )
+    days = ctx.edge_rates.days
+    for key, label in ((ORIGIN_XIAONEI, "xiaonei"), (ORIGIN_5Q, "fivq"), ("both", "both")):
+        series = ratios[key]
+        result.series[label] = series_from(days, series)
+        result.findings[f"tip_day[{label}]"] = _first_sustained_above(series, 1.0)
+    result.findings = finite(result.findings)
+    return result
+
+
+@register("F9c")
+def fig9c(ctx: AnalysisContext) -> ExperimentResult:
+    """Cross-OSN distance drops rapidly to an asymptote (one merged network)."""
+    distances = cross_network_distance(
+        ctx.stream,
+        ctx.merge_day,
+        sample_size=200,
+        interval=max(2.0, ctx.config.days / 60.0),
+        seed=ctx.seed,
+    )
+    result = ExperimentResult(
+        experiment="F9c",
+        title="Average distance between the two OSNs over time",
+        series={
+            "xiaonei_to_5q": series_from(distances.days_after_merge, distances.xiaonei_to_5q),
+            "5q_to_xiaonei": series_from(distances.days_after_merge, distances.fivq_to_xiaonei),
+        },
+        paper={
+            "initial_distance": "both start above 3 hops",
+            "final_distance[xiaonei_to_5q]": "< 1.5 by the end; < 2 within 47 days",
+        },
+    )
+    x = distances.xiaonei_to_5q
+    f = distances.fivq_to_xiaonei
+    findings = {
+        "initial_distance": float(np.nanmax([x[0], f[0]])) if x.size else float("nan"),
+        "final_distance[xiaonei_to_5q]": float(x[-1]) if x.size else float("nan"),
+        "final_distance[5q_to_xiaonei]": float(f[-1]) if f.size else float("nan"),
+    }
+    below2 = np.nonzero(np.nan_to_num(np.maximum(x, f), nan=np.inf) < 2.0)[0]
+    if below2.size:
+        findings["day_both_below_2_hops"] = float(distances.days_after_merge[below2[0]])
+    result.findings = finite(findings)
+    return result
+
+
+def _first_sustained_above(series: np.ndarray, threshold: float, persist: int = 3) -> float:
+    n = series.size
+    for day in range(1, n - persist + 1):
+        window = series[day : day + persist]
+        if np.all(np.nan_to_num(window, nan=-1.0) >= threshold):
+            return float(day)
+    return float("nan")

@@ -1,0 +1,80 @@
+"""Seed-sweep robustness: are the reproduced findings stable across seeds?
+
+A single synthetic trace is one draw from the generator's distribution;
+this harness reruns an experiment across several seeds and reports each
+scalar finding's spread with a bootstrap confidence interval, so claims
+like "α decays" can be checked for seed-robustness rather than read off
+one lucky trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.experiments import run_experiment
+from repro.gen.config import GeneratorConfig
+from repro.util.bootstrap import BootstrapResult, bootstrap_ci
+
+__all__ = ["FindingSpread", "seed_sweep"]
+
+
+@dataclass(frozen=True)
+class FindingSpread:
+    """One finding's values across seeds, with a bootstrap CI of the mean."""
+
+    finding: str
+    values: tuple[float, ...]
+    ci: BootstrapResult
+
+    @property
+    def all_positive(self) -> bool:
+        """Whether the finding was positive on every seed."""
+        return all(v > 0 for v in self.values)
+
+    @property
+    def sign_stable(self) -> bool:
+        """Whether the finding kept one sign across all seeds."""
+        signs = {np.sign(v) for v in self.values if v != 0}
+        return len(signs) <= 1
+
+
+def seed_sweep(
+    experiment: str,
+    config: GeneratorConfig,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    tracking_interval: float = 3.0,
+) -> dict[str, FindingSpread]:
+    """Run ``experiment`` on a fresh context per seed; aggregate findings.
+
+    Findings missing on some seeds are aggregated over the seeds that
+    produced them.  Seeds whose run raises :class:`ValueError` (too little
+    data at tiny scale) are skipped; if every seed fails the error is
+    re-raised.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: dict[str, list[float]] = defaultdict(list)
+    failures: list[Exception] = []
+    for seed in seeds:
+        ctx = AnalysisContext(config, seed=seed, tracking_interval=tracking_interval)
+        try:
+            result = run_experiment(experiment, ctx)
+        except ValueError as exc:
+            failures.append(exc)
+            continue
+        for name, value in result.findings.items():
+            collected[name].append(float(value))
+    if not collected:
+        raise ValueError(f"all seeds failed for {experiment}: {failures[-1]}")
+    spreads: dict[str, FindingSpread] = {}
+    for name, values in collected.items():
+        spreads[name] = FindingSpread(
+            finding=name,
+            values=tuple(values),
+            ci=bootstrap_ci(values, n_resamples=500, seed=0),
+        )
+    return spreads

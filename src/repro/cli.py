@@ -1,0 +1,181 @@
+"""Command-line interface: generate traces, inspect them, run experiments.
+
+::
+
+    python -m repro generate --preset small --seed 7 --out trace.tsv
+    python -m repro info trace.tsv
+    python -m repro metrics trace.tsv --interval 10
+    python -m repro communities trace.tsv --delta 0.04
+    python -m repro experiment F3c --preset small --seed 7
+    python -m repro experiment all --preset tiny_merge
+
+Installed as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = ("tiny", "tiny_merge", "small", "merge_study", "paper_scale_small")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Multi-scale Dynamics in a "
+        "Massive Online Social Network' (IMC 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace and write it as TSV")
+    _add_preset_args(gen)
+    gen.add_argument("--out", required=True, help="output TSV path")
+
+    info = sub.add_parser("info", help="validate a trace file and print summary statistics")
+    info.add_argument("trace", help="trace TSV path")
+
+    metrics = sub.add_parser("metrics", help="print Figure-1 metrics over time for a trace")
+    metrics.add_argument("trace", help="trace TSV path")
+    metrics.add_argument("--interval", type=float, default=10.0, help="snapshot cadence (days)")
+    metrics.add_argument("--path-sample", type=int, default=200)
+    metrics.add_argument("--seed", type=int, default=0)
+
+    comm = sub.add_parser("communities", help="track communities over a trace")
+    comm.add_argument("trace", help="trace TSV path")
+    comm.add_argument("--interval", type=float, default=3.0)
+    comm.add_argument("--delta", type=float, default=0.04)
+    comm.add_argument("--min-size", type=int, default=10)
+    comm.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run a registered paper experiment (or 'all')")
+    exp.add_argument("experiment", help="experiment id, e.g. F3c, or 'all'")
+    _add_preset_args(exp)
+
+    return parser
+
+
+def _add_preset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=_PRESETS, default="small")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--nodes", type=int, default=None, help="override target_nodes")
+    parser.add_argument("--days", type=float, default=None, help="override trace length")
+
+
+def _resolve_config(args: argparse.Namespace):
+    from repro.gen.config import presets
+
+    kwargs = {}
+    if args.days is not None:
+        kwargs["days"] = args.days
+    if args.nodes is not None:
+        kwargs["target_nodes"] = args.nodes
+    return getattr(presets, args.preset)(**kwargs)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.gen.renren import generate_trace
+    from repro.graph.stream_io import write_event_stream
+
+    config = _resolve_config(args)
+    stream = generate_trace(config, seed=args.seed)
+    write_event_stream(stream, args.out)
+    print(f"wrote {stream.num_nodes} nodes / {stream.num_edges} edges "
+          f"over {stream.end_time:.1f} days to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.graph.dynamic import DynamicGraph
+    from repro.graph.stream_io import read_event_stream
+
+    stream = read_event_stream(args.trace)
+    origins = Counter(ev.origin for ev in stream.nodes)
+    graph = DynamicGraph(stream).final()
+    degrees = np.array([len(nbrs) for nbrs in graph.adjacency.values()])
+    print(f"trace      : {args.trace} (valid)")
+    print(f"nodes      : {stream.num_nodes}  (origins: {dict(origins)})")
+    print(f"edges      : {stream.num_edges}")
+    print(f"span       : {stream.end_time:.1f} days")
+    print(f"avg degree : {degrees.mean():.2f}  (max {degrees.max()})")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.graph.stream_io import read_event_stream
+    from repro.metrics.timeseries import compute_metric_timeseries, standard_metrics
+
+    stream = read_event_stream(args.trace)
+    metrics = standard_metrics(path_sample=args.path_sample, seed=args.seed)
+    series = compute_metric_timeseries(stream, metrics, interval=args.interval)
+    names = list(series.values)
+    header = "day".rjust(8) + "".join(name.rjust(22) for name in names)
+    print(header)
+    for i, t in enumerate(series.times):
+        row = f"{t:8.1f}"
+        for name in names:
+            row += f"{series.values[name][i]:22.4f}"
+        print(row)
+    return 0
+
+
+def _cmd_communities(args: argparse.Namespace) -> int:
+    from repro.community.tracking import track_stream
+    from repro.graph.stream_io import read_event_stream
+
+    stream = read_event_stream(args.trace)
+    tracker = track_stream(
+        stream, interval=args.interval, delta=args.delta,
+        min_size=args.min_size, seed=args.seed,
+    )
+    print(f"{'day':>8} {'communities':>12} {'modularity':>11} {'similarity':>11}")
+    for snap in tracker.snapshots:
+        print(f"{snap.time:8.1f} {snap.num_communities:12d} "
+              f"{snap.modularity:11.3f} {snap.avg_similarity:11.3f}")
+    events = Counter(e.kind for e in tracker.events)
+    print(f"events: {dict(events)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisContext, list_experiments, run_experiment
+
+    config = _resolve_config(args)
+    ctx = AnalysisContext(config, seed=args.seed)
+    targets = list_experiments() if args.experiment == "all" else [args.experiment]
+    status = 0
+    for experiment in targets:
+        try:
+            run_experiment(experiment, ctx).print_summary()
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"[{experiment}] skipped: {exc}")
+            status = 0
+    return status
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "metrics": _cmd_metrics,
+    "communities": _cmd_communities,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

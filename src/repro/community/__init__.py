@@ -1,0 +1,49 @@
+"""Community detection, tracking, and dynamics (paper §4, Figures 4-7).
+
+Pipeline:
+
+1. :func:`~repro.community.louvain.louvain` — modularity-optimizing
+   detection with the paper's δ stopping threshold, supporting incremental
+   (seeded) runs across snapshots;
+2. :class:`~repro.community.tracking.CommunityTracker` — Jaccard-similarity
+   tracking that yields lineages and birth/death/merge/split events;
+3. :mod:`~repro.community.stats` / :mod:`~repro.community.merge_split` /
+   :mod:`~repro.community.impact` — the statistics the paper reports on top
+   of the tracked communities;
+4. :mod:`~repro.community.features` — structural features feeding the
+   merge-prediction classifier (Figure 6b).
+"""
+
+from repro.community.modularity import modularity, partition_communities
+from repro.community.louvain import louvain, LouvainResult
+from repro.community.tracking import (
+    CommunityEvent,
+    CommunityLineage,
+    CommunityTracker,
+    TrackedSnapshot,
+    jaccard,
+)
+from repro.community.export import read_tracking_json, tracker_to_dict, write_tracking_json
+from repro.community.stats import (
+    community_size_distribution,
+    community_lifetimes,
+    top_k_coverage,
+)
+
+__all__ = [
+    "modularity",
+    "partition_communities",
+    "louvain",
+    "LouvainResult",
+    "CommunityEvent",
+    "CommunityLineage",
+    "CommunityTracker",
+    "TrackedSnapshot",
+    "jaccard",
+    "community_size_distribution",
+    "community_lifetimes",
+    "top_k_coverage",
+    "read_tracking_json",
+    "tracker_to_dict",
+    "write_tracking_json",
+]

@@ -1,0 +1,108 @@
+"""JSON export/import of community-tracking results.
+
+A tracking run over a long trace is expensive; these helpers persist its
+outcome (per-snapshot community states, lineages, lifecycle events) as
+plain JSON so downstream analyses — or other tools entirely — can consume
+it without re-running Louvain.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.community.tracking import (
+    CommunityEvent,
+    CommunityLineage,
+    CommunityState,
+    CommunityTracker,
+    TrackedSnapshot,
+)
+
+__all__ = ["tracker_to_dict", "write_tracking_json", "read_tracking_json"]
+
+_FORMAT = "repro-community-tracking-v1"
+
+
+def tracker_to_dict(tracker: CommunityTracker) -> dict[str, Any]:
+    """Serialize a completed tracking run to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "delta": tracker.delta,
+        "min_size": tracker.min_size,
+        "snapshots": [_snapshot_to_dict(s) for s in tracker.snapshots],
+        "events": [_event_to_dict(e) for e in tracker.events],
+        "lineages": [
+            _lineage_to_dict(lin) for lin in tracker.lineages.values() if lin.states
+        ],
+    }
+
+
+def write_tracking_json(tracker: CommunityTracker, path: str | os.PathLike[str]) -> None:
+    """Write :func:`tracker_to_dict` to ``path``."""
+    with open(Path(path), "w", encoding="utf-8") as fh:
+        json.dump(tracker_to_dict(tracker), fh)
+
+
+def read_tracking_json(path: str | os.PathLike[str]) -> dict[str, Any]:
+    """Load a tracking JSON file, checking the format marker.
+
+    Returns the raw dict (snapshots/events/lineages); member sets come
+    back as lists, times as floats, NaN similarities as ``None``.
+    """
+    with open(Path(path), encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    return data
+
+
+def _snapshot_to_dict(snapshot: TrackedSnapshot) -> dict[str, Any]:
+    return {
+        "time": snapshot.time,
+        "modularity": snapshot.modularity,
+        "avg_similarity": _nan_to_none(snapshot.avg_similarity),
+        "communities": [_state_to_dict(s) for s in snapshot.states.values()],
+    }
+
+
+def _state_to_dict(state: CommunityState) -> dict[str, Any]:
+    return {
+        "lineage": state.lineage,
+        "size": state.size,
+        "internal_edges": state.internal_edges,
+        "degree_sum": state.degree_sum,
+        "similarity": _nan_to_none(state.similarity),
+        "members": sorted(state.members),
+    }
+
+
+def _event_to_dict(event: CommunityEvent) -> dict[str, Any]:
+    return {
+        "kind": event.kind,
+        "time": event.time,
+        "subject": event.subject,
+        "other": event.other,
+        "children": list(event.children),
+        "size_ratio": _nan_to_none(event.size_ratio),
+        "strongest_tie": event.strongest_tie,
+    }
+
+
+def _lineage_to_dict(lineage: CommunityLineage) -> dict[str, Any]:
+    return {
+        "lineage": lineage.lineage,
+        "born": lineage.born,
+        "last_seen": lineage.last_seen,
+        "death_time": lineage.death_time,
+        "death_reason": lineage.death_reason,
+        "lifetime": lineage.lifetime(),
+        "sizes": [s.size for s in lineage.states],
+    }
+
+
+def _nan_to_none(value: float) -> float | None:
+    return None if value is None or (isinstance(value, float) and math.isnan(value)) else value

@@ -1,0 +1,129 @@
+"""Structural feature vectors for community-merge prediction (paper §4.3).
+
+For each tracked community at each snapshot the paper builds features from
+three basic metrics — community size, in-degree ratio, and self-similarity
+to the previous snapshot — augmenting each with its standard deviation over
+the community's history, a first-order change indicator (-1/0/1), and a
+second-order (acceleration) indicator, plus the community's age.  The label
+is whether the community merges into another in the *next* snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.tracking import CommunityState, CommunityTracker
+
+__all__ = ["FEATURE_NAMES", "MergeSample", "build_merge_dataset"]
+
+_BASE_METRICS = ("size", "in_degree_ratio", "similarity")
+
+FEATURE_NAMES: tuple[str, ...] = tuple(
+    f"{metric}_{suffix}"
+    for metric in _BASE_METRICS
+    for suffix in ("value", "std", "delta1", "delta2")
+) + ("age_days",)
+
+
+@dataclass(frozen=True)
+class MergeSample:
+    """One (community, snapshot) sample for the merge predictor."""
+
+    lineage: int
+    time: float
+    age_days: float
+    features: np.ndarray
+    merges_next: bool
+
+
+def build_merge_dataset(
+    tracker: CommunityTracker,
+    exclude_times: tuple[float, ...] = (),
+) -> list[MergeSample]:
+    """Build labelled samples from a completed tracking run.
+
+    Samples from the final snapshot are skipped (their label is unknowable);
+    so are lineages born at any time in ``exclude_times`` (the paper drops
+    communities created on the 5Q network-merge day, whose dynamics are
+    driven by the external event).
+    """
+    if len(tracker.snapshots) < 2:
+        return []
+    merge_deaths: dict[tuple[int, float], bool] = {}
+    for event in tracker.events:
+        if event.kind == "merge":
+            merge_deaths[(event.subject, event.time)] = True
+    snapshot_times = [snap.time for snap in tracker.snapshots]
+    excluded = set(exclude_times)
+    samples: list[MergeSample] = []
+    for lineage in tracker.lineages.values():
+        if not lineage.states or lineage.born in excluded:
+            continue
+        history: list[CommunityState] = []
+        for state in lineage.states:
+            history.append(state)
+            idx = _snapshot_index(snapshot_times, state.time)
+            if idx is None or idx + 1 >= len(snapshot_times):
+                continue
+            next_time = snapshot_times[idx + 1]
+            # Label: merged at the next snapshot, or survived to it.  A
+            # lineage that dissolves next is a negative (it did not merge).
+            merges = merge_deaths.get((lineage.lineage, next_time), False)
+            alive_next = any(s.time == next_time for s in lineage.states)
+            if not merges and not alive_next and lineage.death_time == next_time:
+                merges = lineage.death_reason == "merge"
+            samples.append(
+                MergeSample(
+                    lineage=lineage.lineage,
+                    time=state.time,
+                    age_days=state.time - lineage.born,
+                    features=_feature_vector(history, lineage.born),
+                    merges_next=merges,
+                )
+            )
+    return samples
+
+
+def _snapshot_index(times: list[float], time: float) -> int | None:
+    # Snapshot times are strictly increasing and states carry exact times.
+    lo, hi = 0, len(times) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if times[mid] == time:
+            return mid
+        if times[mid] < time:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return None
+
+
+def _feature_vector(history: list[CommunityState], born: float) -> np.ndarray:
+    values = {
+        "size": [float(s.size) for s in history],
+        "in_degree_ratio": [s.in_degree_ratio for s in history],
+        "similarity": [s.similarity if np.isfinite(s.similarity) else 1.0 for s in history],
+    }
+    features: list[float] = []
+    for metric in _BASE_METRICS:
+        series = values[metric]
+        current = series[-1]
+        std = float(np.std(series)) if len(series) > 1 else 0.0
+        delta1 = _sign(series[-1] - series[-2]) if len(series) >= 2 else 0.0
+        if len(series) >= 3:
+            delta2 = _sign((series[-1] - series[-2]) - (series[-2] - series[-3]))
+        else:
+            delta2 = 0.0
+        features.extend([current, std, delta1, delta2])
+    features.append(history[-1].time - born)
+    return np.asarray(features, dtype=float)
+
+
+def _sign(x: float) -> float:
+    if x > 0:
+        return 1.0
+    if x < 0:
+        return -1.0
+    return 0.0

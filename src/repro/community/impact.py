@@ -1,0 +1,139 @@
+"""Impact of community membership on user activity (paper §4.4, Figure 7).
+
+Users inside detected communities are compared against users outside any
+community on three activity dimensions:
+
+* edge inter-arrival times (community users create edges faster, Fig 7a);
+* user lifetime — join time to last edge — bucketed by community size
+  (larger communities → longer-lived users, Fig 7b);
+* in-degree ratio — the fraction of a user's edges that stay inside their
+  community (larger communities → more internal activity, Fig 7c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.tracking import TrackedSnapshot
+from repro.edges.interarrival import node_edge_times, node_interarrival_times
+from repro.graph.events import EventStream
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = [
+    "SIZE_BUCKETS_PAPER",
+    "CommunityMembership",
+    "membership_from_snapshot",
+    "interarrival_by_membership",
+    "lifetime_by_community_size",
+    "in_degree_ratio_by_size",
+]
+
+#: The paper's community-size buckets for Figures 7(b) and 7(c).
+SIZE_BUCKETS_PAPER: tuple[tuple[int, float], ...] = (
+    (10, 100),
+    (100, 1_000),
+    (1_000, 100_000),
+    (100_000, float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class CommunityMembership:
+    """Node → community assignment derived from one tracked snapshot."""
+
+    community_of: dict[int, int]
+    size_of: dict[int, int]
+
+    def community_nodes(self) -> set[int]:
+        """All nodes belonging to some community."""
+        return set(self.community_of)
+
+    def bucket_of(self, node: int, buckets: tuple[tuple[int, float], ...]) -> str | None:
+        """Label of the size bucket the node's community falls into."""
+        community = self.community_of.get(node)
+        if community is None:
+            return None
+        size = self.size_of[community]
+        for lo, hi in buckets:
+            if lo <= size < hi:
+                return _bucket_label(lo, hi)
+        return None
+
+
+def _bucket_label(lo: int, hi: float) -> str:
+    return f"[{lo},{int(hi)}]" if np.isfinite(hi) else f"{lo}+"
+
+
+def membership_from_snapshot(snapshot: TrackedSnapshot) -> CommunityMembership:
+    """Extract node→community membership from a tracked snapshot."""
+    community_of: dict[int, int] = {}
+    size_of: dict[int, int] = {}
+    for lineage, state in snapshot.states.items():
+        size_of[lineage] = state.size
+        for node in state.members:
+            community_of[node] = lineage
+    return CommunityMembership(community_of=community_of, size_of=size_of)
+
+
+def interarrival_by_membership(
+    stream: EventStream,
+    membership: CommunityMembership,
+) -> dict[str, np.ndarray]:
+    """Pooled edge inter-arrival gaps for community vs non-community users."""
+    members = membership.community_nodes()
+    groups: dict[str, list[float]] = {"community": [], "non_community": []}
+    for node, times in node_edge_times(stream).items():
+        gaps = node_interarrival_times(times)
+        if gaps.size == 0:
+            continue
+        key = "community" if node in members else "non_community"
+        groups[key].extend(gaps.tolist())
+    return {key: np.asarray(vals) for key, vals in groups.items()}
+
+
+def lifetime_by_community_size(
+    stream: EventStream,
+    membership: CommunityMembership,
+    buckets: tuple[tuple[int, float], ...] = SIZE_BUCKETS_PAPER,
+) -> dict[str, np.ndarray]:
+    """User lifetimes grouped by community-size bucket (plus non-community).
+
+    Lifetime is the gap between a user's last edge creation and their join
+    time (§4.4); users with no edges are skipped.
+    """
+    arrival = stream.node_arrival_times()
+    groups: dict[str, list[float]] = {"non_community": []}
+    for lo, hi in buckets:
+        groups[_bucket_label(lo, hi)] = []
+    for node, times in node_edge_times(stream).items():
+        lifetime = times[-1] - arrival[node]
+        label = membership.bucket_of(node, buckets)
+        groups[label if label is not None else "non_community"].append(lifetime)
+    return {key: np.asarray(vals) for key, vals in groups.items()}
+
+
+def in_degree_ratio_by_size(
+    graph: GraphSnapshot,
+    membership: CommunityMembership,
+    buckets: tuple[tuple[int, float], ...] = SIZE_BUCKETS_PAPER,
+) -> dict[str, np.ndarray]:
+    """Per-user in-degree ratios grouped by community-size bucket (Fig 7c).
+
+    A user's in-degree ratio is the fraction of their edges that stay
+    inside their own community; zero-degree users are skipped.
+    """
+    groups: dict[str, list[float]] = {}
+    for lo, hi in buckets:
+        groups[_bucket_label(lo, hi)] = []
+    for node, community in membership.community_of.items():
+        neighbors = graph.adjacency.get(node)
+        if not neighbors:
+            continue
+        label = membership.bucket_of(node, buckets)
+        if label is None:
+            continue
+        inside = sum(1 for nbr in neighbors if membership.community_of.get(nbr) == community)
+        groups[label].append(inside / len(neighbors))
+    return {key: np.asarray(vals) for key, vals in groups.items()}

@@ -1,0 +1,87 @@
+"""Analysis of community merge and split events (paper §4.3, Figure 6a/6c).
+
+Works on the event list produced by
+:class:`~repro.community.tracking.CommunityTracker`:
+
+* the CDFs of the size ratio between the two largest communities involved
+  in each merge or split (the paper finds merges wildly asymmetric —
+  ratio < 0.005 for 80% — while splits are balanced — ratio > 0.5 for
+  70%);
+* the strongest-tie rule: communities almost always (99%) merge into the
+  community they share the most edges with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.tracking import CommunityEvent, CommunityTracker
+from repro.util.binning import empirical_cdf
+
+__all__ = [
+    "merge_size_ratios",
+    "split_size_ratios",
+    "size_ratio_cdfs",
+    "strongest_tie_rate",
+    "StrongestTieSummary",
+]
+
+
+def merge_size_ratios(tracker: CommunityTracker) -> np.ndarray:
+    """Size ratios (2nd largest / largest) over all merge events."""
+    return _ratios(tracker.events, "merge")
+
+
+def split_size_ratios(tracker: CommunityTracker) -> np.ndarray:
+    """Size ratios (2nd largest / largest) over all split events."""
+    return _ratios(tracker.events, "split")
+
+
+def size_ratio_cdfs(
+    tracker: CommunityTracker,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Figure 6(a): empirical CDFs of merge and split size ratios."""
+    return {
+        "merge": empirical_cdf(merge_size_ratios(tracker)),
+        "split": empirical_cdf(split_size_ratios(tracker)),
+    }
+
+
+@dataclass(frozen=True)
+class StrongestTieSummary:
+    """Figure 6(c): how often merges follow the strongest inter-community tie."""
+
+    total_merges: int
+    with_tie_info: int
+    strongest_tie_hits: int
+    hit_times: tuple[float, ...]
+    miss_times: tuple[float, ...]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of merges (with tie info) into the strongest-tie peer."""
+        if self.with_tie_info == 0:
+            return float("nan")
+        return self.strongest_tie_hits / self.with_tie_info
+
+
+def strongest_tie_rate(tracker: CommunityTracker) -> StrongestTieSummary:
+    """Evaluate the strongest-tie merge-destination rule over all merges."""
+    merges = [e for e in tracker.events if e.kind == "merge"]
+    informative = [e for e in merges if e.strongest_tie is not None]
+    hits = [e for e in informative if e.strongest_tie]
+    misses = [e for e in informative if not e.strongest_tie]
+    return StrongestTieSummary(
+        total_merges=len(merges),
+        with_tie_info=len(informative),
+        strongest_tie_hits=len(hits),
+        hit_times=tuple(e.time for e in hits),
+        miss_times=tuple(e.time for e in misses),
+    )
+
+
+def _ratios(events: list[CommunityEvent], kind: str) -> np.ndarray:
+    values = [e.size_ratio for e in events if e.kind == kind and np.isfinite(e.size_ratio)]
+    return np.asarray(values, dtype=float)

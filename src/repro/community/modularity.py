@@ -1,0 +1,47 @@
+"""Newman-Girvan modularity of a partition (from scratch).
+
+``Q = Σ_c [ L_c / m  -  (D_c / 2m)² ]`` where ``L_c`` is the number of
+intra-community edges, ``D_c`` the total degree of community ``c`` and
+``m`` the number of edges.  The paper uses Q > 0.3 as the significance bar
+(citing [19]) and observes Q > 0.4 on all Renren snapshots (Fig 4a).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["modularity", "partition_communities"]
+
+
+def partition_communities(partition: Mapping[int, int]) -> dict[int, set[int]]:
+    """Invert a ``node → community`` map into ``community → node set``."""
+    communities: dict[int, set[int]] = defaultdict(set)
+    for node, community in partition.items():
+        communities[community].add(node)
+    return dict(communities)
+
+
+def modularity(graph: GraphSnapshot, partition: Mapping[int, int]) -> float:
+    """Modularity of ``partition`` on ``graph``.
+
+    Every node of the graph must be assigned (raises :class:`KeyError`
+    otherwise); returns 0.0 for an edgeless graph.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    internal: dict[int, int] = defaultdict(int)
+    degree_sum: dict[int, int] = defaultdict(int)
+    for node, neighbors in graph.adjacency.items():
+        c = partition[node]
+        degree_sum[c] += len(neighbors)
+    for u, v in graph.edges():
+        if partition[u] == partition[v]:
+            internal[partition[u]] += 1
+    q = 0.0
+    for c, d in degree_sum.items():
+        q += internal.get(c, 0) / m - (d / (2.0 * m)) ** 2
+    return q

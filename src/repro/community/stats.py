@@ -1,0 +1,56 @@
+"""Community-level statistics over time (paper §4.2, Figures 4c/5).
+
+Works on the output of :class:`~repro.community.tracking.CommunityTracker`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community.tracking import CommunityTracker, TrackedSnapshot
+from repro.util.binning import empirical_cdf, histogram_counts
+
+__all__ = [
+    "community_size_distribution",
+    "top_k_coverage",
+    "community_lifetimes",
+    "lifetime_cdf",
+]
+
+
+def community_size_distribution(snapshot: TrackedSnapshot) -> dict[int, int]:
+    """Map community size → number of communities of that size (Fig 4c/5a)."""
+    return histogram_counts(state.size for state in snapshot.states.values())
+
+
+def top_k_coverage(snapshot: TrackedSnapshot, total_nodes: int, k: int = 5) -> list[float]:
+    """Fraction of the network inside each of the ``k`` largest communities.
+
+    Returns ``k`` fractions, largest community first, zero-padded when fewer
+    than ``k`` communities exist (Fig 5b plots these for k=5).
+    """
+    if total_nodes <= 0:
+        raise ValueError("total_nodes must be positive")
+    sizes = sorted((state.size for state in snapshot.states.values()), reverse=True)
+    sizes = sizes[:k] + [0] * max(0, k - len(sizes))
+    return [s / total_nodes for s in sizes]
+
+
+def community_lifetimes(tracker: CommunityTracker, include_alive: bool = False) -> np.ndarray:
+    """Lifetimes (days) of tracked communities.
+
+    By default only communities whose death was observed are included;
+    ``include_alive`` adds right-censored lifetimes of still-alive
+    communities.
+    """
+    values = [
+        lineage.lifetime()
+        for lineage in tracker.lineages.values()
+        if lineage.states and (include_alive or lineage.death_time is not None)
+    ]
+    return np.asarray(values, dtype=float)
+
+
+def lifetime_cdf(tracker: CommunityTracker) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of observed community lifetimes (Fig 5c)."""
+    return empirical_cdf(community_lifetimes(tracker))

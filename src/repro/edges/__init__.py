@@ -1,0 +1,22 @@
+"""Node/edge-level time dynamics (paper §3.1, Figure 2)."""
+
+from repro.edges.interarrival import (
+    collect_interarrivals_by_age,
+    interarrival_pdf_by_bucket,
+    node_interarrival_times,
+)
+from repro.edges.lifetime import edge_creation_over_lifetime, node_lifetimes
+from repro.edges.node_age import minimal_age_fractions
+from repro.edges.powerlaw import PowerLawFit, fit_power_law_mle, fit_power_law_binned
+
+__all__ = [
+    "collect_interarrivals_by_age",
+    "interarrival_pdf_by_bucket",
+    "node_interarrival_times",
+    "edge_creation_over_lifetime",
+    "node_lifetimes",
+    "minimal_age_fractions",
+    "PowerLawFit",
+    "fit_power_law_mle",
+    "fit_power_law_binned",
+]

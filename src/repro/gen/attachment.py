@@ -1,0 +1,196 @@
+"""Edge-destination selection: decaying PA + random + triadic closure.
+
+The paper's §3.3 hypothesis — "an accurate model ... should combine a
+preferential attachment component with a randomized attachment component"
+whose balance shifts over time — is implemented here directly.  A scheduled
+initiator chooses its destination through:
+
+1. **triadic closure** with probability ``triadic_probability`` (a random
+   friend-of-friend), which produces the high clustering of Fig 1(e);
+2. otherwise **preferential attachment** with probability ``pa_weight(E)``
+   that decays as the network accumulates edges (Fig 3c), by sampling
+   degree-proportionally;
+3. otherwise **uniform random** attachment.
+
+Candidates may be drawn from the initiator's home community (probability
+``local_probability``) to plant modular structure, and every candidate can
+be filtered through an acceptance-bias callback (used by the merge model to
+favor internal over external edges, §5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.gen.config import GeneratorConfig
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["AttachmentState", "pa_weight"]
+
+_MAX_ATTEMPTS = 16
+
+
+def pa_weight(num_edges: int, config: GeneratorConfig) -> float:
+    """Probability that a (non-triadic) destination is chosen by PA.
+
+    Decays from ``pa_start`` toward ``pa_end`` with the number of edges in
+    the network, with half the decay spent at ``pa_halflife_edges``:
+
+    ``w(E) = pa_end + (pa_start - pa_end) / (1 + E / halflife)``
+    """
+    span = config.pa_start - config.pa_end
+    return config.pa_end + span / (1.0 + num_edges / config.pa_halflife_edges)
+
+
+def spotlight_weight(num_edges: int, config: GeneratorConfig) -> float:
+    """Probability that a PA draw is amplified to best-of-k (supernode visibility).
+
+    Decays to zero on the ``pa_halflife_edges`` scale, so early attachment
+    is super-linear (alpha > 1) and mature attachment is at most linear.
+    """
+    return config.spotlight_start / (1.0 + num_edges / config.pa_halflife_edges)
+
+
+class AttachmentState:
+    """Sampling state tracking nodes, degree mass, and community pools.
+
+    ``endpoint_draws`` holds both endpoints of every edge, so a uniform
+    draw from it is exactly degree-proportional sampling; the same trick is
+    kept per community for local attachment.
+    """
+
+    def __init__(self, config: GeneratorConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self.node_draws: list[int] = []
+        self.endpoint_draws: list[int] = []
+        self.community_of: dict[int, int] = {}
+        self.loners: set[int] = set()
+        # Loners arrive in small "invite clusters"; each loner's peer edges
+        # stay inside its own cluster, so the clusters form a sparse
+        # periphery of sub-threshold communities (the paper's
+        # non-community users).  Loners are kept out of the global node
+        # pool so mainstream users do not pull them into big communities.
+        self._loner_cluster_of: dict[int, list[int]] = {}
+        self._open_cluster: list[int] = []
+        self._open_cluster_cap: int = 0
+        self._community_nodes: dict[int, list[int]] = {}
+        self._community_endpoints: dict[int, list[int]] = {}
+
+    # -- state updates --------------------------------------------------
+
+    def add_node(self, node: int, community: int | None) -> None:
+        """Register an arrived node; ``community=None`` marks a loner."""
+        if community is None:
+            self.loners.add(node)
+            if len(self._open_cluster) >= self._open_cluster_cap:
+                self._open_cluster = []
+                # Capped at 8 members so no invite cluster ever reaches the
+                # 10-node tracking threshold (they must stay "non-community").
+                self._open_cluster_cap = 2 + min(int(self._rng.geometric(0.3)), 6)
+            self._open_cluster.append(node)
+            self._loner_cluster_of[node] = self._open_cluster
+            return
+        self.node_draws.append(node)
+        self.community_of[node] = community
+        self._community_nodes.setdefault(community, []).append(node)
+
+    def record_edge(self, u: int, v: int) -> None:
+        """Account a created edge in the degree-proportional pools."""
+        self.endpoint_draws.append(u)
+        self.endpoint_draws.append(v)
+        cu = self.community_of.get(u)
+        cv = self.community_of.get(v)
+        if cu is not None and cu == cv:
+            pool = self._community_endpoints.setdefault(cu, [])
+            pool.append(u)
+            pool.append(v)
+
+    # -- destination choice ----------------------------------------------
+
+    def choose_destination(
+        self,
+        initiator: int,
+        graph: GraphSnapshot,
+        accept_bias: Callable[[int], float] | None = None,
+        local_probability: float | None = None,
+    ) -> int | None:
+        """Pick a destination for an edge initiated by ``initiator``.
+
+        Returns ``None`` when no valid destination is found within the
+        attempt budget (the initiator simply skips this activity slot).
+        ``accept_bias(candidate)`` returns an acceptance probability in
+        (0, 1] used for rejection sampling; ``local_probability`` overrides
+        the config's home-community locality for this call.
+        """
+        cfg = self.config
+        rng = self._rng
+        neighbors = graph.adjacency[initiator]
+        w_local = cfg.local_probability if local_probability is None else local_probability
+        w_pa = pa_weight(graph.num_edges, cfg)
+        w_spot = spotlight_weight(graph.num_edges, cfg)
+        for _ in range(_MAX_ATTEMPTS):
+            candidate = self._propose(initiator, neighbors, graph, w_pa, w_spot, w_local)
+            if candidate is None:
+                continue
+            if candidate == initiator or candidate in neighbors:
+                continue
+            if len(graph.adjacency[candidate]) >= cfg.friend_cap:
+                continue
+            if len(neighbors) >= cfg.friend_cap:
+                return None
+            if accept_bias is not None and rng.random() >= accept_bias(candidate):
+                continue
+            return candidate
+        return None
+
+    def _propose(
+        self,
+        initiator: int,
+        neighbors: set[int],
+        graph: GraphSnapshot,
+        w_pa: float,
+        w_spot: float,
+        w_local: float,
+    ) -> int | None:
+        rng = self._rng
+        cfg = self.config
+        # Loners mostly befriend their own invite cluster, else global.
+        if initiator in self.loners:
+            cluster = self._loner_cluster_of[initiator]
+            if len(cluster) > 1 and rng.random() < cfg.loner_peer_probability:
+                return _sample(cluster, rng)
+            if self.node_draws:
+                return _sample(self.node_draws, rng)
+            return None
+        # Triadic closure: random friend-of-friend.
+        if neighbors and rng.random() < cfg.triadic_probability:
+            pivot = _sample(list(neighbors), rng)
+            second_hop = graph.adjacency[pivot]
+            if second_hop:
+                return _sample(list(second_hop), rng)
+            return None
+        # Local vs global candidate pool.
+        community = self.community_of.get(initiator)
+        local = community is not None and rng.random() < w_local
+        if local:
+            nodes = self._community_nodes.get(community, [])
+            endpoints = self._community_endpoints.get(community, [])
+        else:
+            nodes = self.node_draws
+            endpoints = self.endpoint_draws
+        if rng.random() < w_pa and endpoints:
+            if rng.random() < w_spot:
+                # Supernode spotlight: best of k degree-proportional draws.
+                draws = (_sample(endpoints, rng) for _ in range(cfg.spotlight_samples))
+                return max(draws, key=lambda n: len(graph.adjacency[n]))
+            return _sample(endpoints, rng)
+        if nodes:
+            return _sample(nodes, rng)
+        return None
+
+
+def _sample(pool: list[int], rng: np.random.Generator) -> int:
+    return pool[int(rng.integers(len(pool)))]

@@ -1,0 +1,424 @@
+"""The trace generator: orchestrates arrivals, activity, attachment, merge.
+
+:class:`RenrenGenerator` simulates an OSN day by day and emits an
+:class:`~repro.graph.events.EventStream` with the same shape as the paper's
+Renren dataset.  With a :class:`~repro.gen.config.MergeConfig` attached, a
+second network is grown in a parallel universe and imported in a single day,
+reproducing the Xiaonei/5Q merge of §5.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+import numpy as np
+
+from repro.gen.activity import draw_budget, schedule_activity
+from repro.gen.arrivals import arrival_counts
+from repro.gen.attachment import AttachmentState
+from repro.gen.communities import CommunityProcess
+from repro.gen.config import GeneratorConfig
+from repro.gen.seasonal import seasonal_factor
+from repro.graph.events import (
+    ORIGIN_5Q,
+    ORIGIN_NEW,
+    ORIGIN_XIAONEI,
+    EdgeArrival,
+    EventStream,
+    NodeArrival,
+)
+from repro.graph.snapshot import GraphSnapshot
+from repro.util.rng import make_rng
+
+__all__ = ["RenrenGenerator", "generate_trace"]
+
+# Community-id offset for the secondary network so the two universes'
+# Chinese-restaurant processes never collide.
+_SECONDARY_COMMUNITY_BASE = 1_000_000
+
+
+class _Universe:
+    """One evolving network: graph + attachment pools + activity schedule."""
+
+    def __init__(self, config: GeneratorConfig, rng: np.random.Generator, community_base: int) -> None:
+        self.config = config
+        self.rng = rng
+        self.graph = GraphSnapshot()
+        self.attach = AttachmentState(config, rng)
+        self.crp = CommunityProcess(
+            config.community_new_prob,
+            rng,
+            first_id=community_base,
+            size_exponent=config.community_size_exponent,
+        )
+        self.schedule: dict[int, list[tuple[float, int]]] = defaultdict(list)
+        self.arrival_time: dict[int, float] = {}
+
+    def add_node(self, node: int, time: float, loner: bool = False) -> None:
+        """Insert an arrived node, assign its community, schedule its activity.
+
+        Loners skip community assignment and get a small Poisson budget.
+        """
+        self.graph.add_node(node)
+        self.arrival_time[node] = time
+        if loner:
+            self.attach.add_node(node, None)
+            budget = 1 + int(self.rng.poisson(max(0.0, self.config.loner_budget_mean - 1.0)))
+            # Casual users: every edge (including the first) comes after a
+            # long exponential delay — no sign-up burst, so their observed
+            # inter-arrival gaps are long (paper Fig 7a).
+            t = time
+            times = []
+            for _ in range(budget):
+                t += float(self.rng.exponential(self.config.loner_gap_mean_days))
+                times.append(t)
+        else:
+            community = self.crp.assign(node)
+            self.attach.add_node(node, community)
+            budget = draw_budget(self.config, self.rng)
+            times = schedule_activity(time, budget, self.config, self.rng)
+        for t in times:
+            self.schedule[int(t)].append((t, node))
+
+    def schedule_event(self, time: float, node: int) -> None:
+        """Schedule a single extra edge-initiation for ``node`` at ``time``."""
+        self.schedule[int(time)].append((time, node))
+
+    def pop_day(self, day: int) -> list[tuple[float, int]]:
+        """Remove and return this day's scheduled initiations, time-ordered."""
+        bucket = self.schedule.pop(day, [])
+        bucket.sort()
+        return bucket
+
+
+class RenrenGenerator:
+    """Simulates a Renren-like dynamic social network.
+
+    Usage::
+
+        stream = RenrenGenerator(presets.small(), seed=7).generate()
+
+    The emitted stream is validated (time-sorted, endpoints exist, no
+    duplicates) and deterministic for a given (config, seed) pair.
+    """
+
+    def __init__(self, config: GeneratorConfig, seed: int | np.random.Generator | None = 0) -> None:
+        self.config = config
+        self.rng = make_rng(seed)
+        self._next_node = 0
+        self._nodes: list[NodeArrival] = []
+        self._edges: list[EdgeArrival] = []
+        self._edge_keys: set[tuple[int, int]] = set()
+        self._inactive: set[int] = set()
+        self._merge_executed = False
+        self.origin_of: dict[int, str] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def generate(self) -> EventStream:
+        """Run the simulation and return the full event stream."""
+        cfg = self.config
+        primary = _Universe(cfg, self.rng, community_base=0)
+        secondary = self._make_secondary_universe()
+        merge_done = cfg.merge is None
+
+        self._seed_universe(primary, ORIGIN_XIAONEI)
+
+        n_days = int(math.ceil(cfg.days))
+        primary_arrivals = arrival_counts(cfg, self.rng)
+        secondary_arrivals = self._secondary_arrival_counts()
+
+        for day in range(n_days):
+            merged_now = not merge_done and day >= int(cfg.merge.merge_day)
+            if merged_now:
+                self._execute_merge(primary, secondary)
+                merge_done = True
+                secondary = None
+            self._run_universe_day(primary, day, int(primary_arrivals[day]), self._primary_origin(day))
+            if secondary is not None and secondary_arrivals is not None:
+                sec_day = day - int(self.config.merge.secondary_start_day)
+                if 0 <= sec_day < len(secondary_arrivals):
+                    self._run_secondary_day(secondary, day, int(secondary_arrivals[sec_day]))
+
+        stream = EventStream()
+        stream.extend(self._nodes, self._edges)
+        stream.validate()
+        return stream
+
+    # -- primary / shared helpers -----------------------------------------
+
+    def _primary_origin(self, day: int) -> str:
+        """Origin label for a node arriving in the primary universe on ``day``."""
+        cfg = self.config
+        if cfg.merge is not None and day >= int(cfg.merge.merge_day):
+            return ORIGIN_NEW
+        return ORIGIN_XIAONEI
+
+    def _alloc_node(self, origin: str) -> int:
+        node = self._next_node
+        self._next_node += 1
+        self.origin_of[node] = origin
+        return node
+
+    def _seed_universe(self, universe: _Universe, origin: str, at_time: float = 0.0) -> None:
+        """Create the initial seed as small disconnected cliques.
+
+        The paper observes that the very early network is "a large number
+        of small groups with loose connections between them" (high early
+        clustering and modularity); seeding disjoint 4-cliques instead of
+        one blob reproduces that starting condition.
+        """
+        seeds = []
+        for i in range(self.config.seed_nodes):
+            node = self._alloc_node(origin)
+            t = at_time + i * 1e-3
+            universe.add_node(node, t)
+            self._emit_node(node, t, origin)
+            seeds.append(node)
+        for base in range(0, len(seeds), 4):
+            group = seeds[base : base + 4]
+            for i, u in enumerate(group):
+                for v in group[i + 1 :]:
+                    self._create_edge(universe, u, v, at_time + 0.01, emit=True)
+
+    def _run_universe_day(self, universe: _Universe, day: int, arrivals: int, origin: str) -> None:
+        """One simulated day in the (primary or merged) emitting universe."""
+        factor = seasonal_factor(day, self.config.seasonal_dips)
+        for _ in range(arrivals):
+            node = self._alloc_node(origin)
+            t = day + float(self.rng.random())
+            loner = self.rng.random() < self.config.loner_fraction
+            universe.add_node(node, t, loner=loner)
+            self._emit_node(node, t, origin)
+        for t, node in universe.pop_day(day):
+            if node in self._inactive:
+                continue
+            if factor < 1.0 and self.rng.random() >= factor:
+                continue
+            bias = None
+            local_override = self._effective_locality(day)
+            if self._merge_executed:
+                bias = self._post_merge_bias(node)
+                if self.origin_of[node] != ORIGIN_NEW:
+                    local_override = min(
+                        local_override, self.config.merge.post_merge_local_probability
+                    )
+            dest = universe.attach.choose_destination(
+                node, universe.graph, accept_bias=bias, local_probability=local_override
+            )
+            if dest is not None:
+                self._create_edge(universe, node, dest, t, emit=True)
+
+    def _effective_locality(self, day: float) -> float:
+        """Locality of destination choice, decaying over the trace."""
+        cfg = self.config
+        return max(0.0, cfg.local_probability - cfg.local_decay * (day / cfg.days))
+
+    def _create_edge(self, universe: _Universe, u: int, v: int, time: float, emit: bool) -> bool:
+        """Create edge in the universe graph; optionally emit to the stream.
+
+        The emitted timestamp is clamped to be no earlier than either
+        endpoint's emitted arrival time.
+        """
+        if not universe.graph.add_edge(u, v):
+            return False
+        universe.attach.record_edge(u, v)
+        if emit:
+            t = float(max(time, universe.arrival_time[u], universe.arrival_time[v]))
+            key = (u, v) if u < v else (v, u)
+            if key in self._edge_keys:
+                raise AssertionError(f"edge {key} emitted twice")
+            self._edge_keys.add(key)
+            self._edges.append(EdgeArrival(time=t, u=u, v=v))
+        return True
+
+    def _emit_node(self, node: int, time: float, origin: str) -> None:
+        self._nodes.append(NodeArrival(time=float(time), node=node, origin=origin))
+
+    # -- secondary network (pre-merge 5Q) -----------------------------------
+
+    def _make_secondary_universe(self) -> _Universe | None:
+        cfg = self.config
+        if cfg.merge is None:
+            return None
+        sec_cfg = self._secondary_config()
+        return _Universe(sec_cfg, self.rng, community_base=_SECONDARY_COMMUNITY_BASE)
+
+    def _secondary_config(self) -> GeneratorConfig:
+        merge = self.config.merge
+        sec_days = merge.merge_day - merge.secondary_start_day
+        return GeneratorConfig(
+            days=sec_days,
+            target_nodes=merge.secondary_target_nodes,
+            growth_rate=self.config.growth_rate,
+            seed_nodes=min(self.config.seed_nodes, merge.secondary_target_nodes),
+            mean_budget=max(1.0, merge.secondary_mean_degree / 2.0),
+            budget_shape=self.config.budget_shape,
+            burst_mean=self.config.burst_mean,
+            gap_exponent=self.config.gap_exponent,
+            gap_min_days=self.config.gap_min_days,
+            triadic_probability=self.config.triadic_probability,
+            local_probability=self.config.local_probability,
+            pa_start=self.config.pa_start,
+            pa_end=self.config.pa_end,
+            pa_halflife_edges=max(1, self.config.pa_halflife_edges // 4),
+            community_new_prob=self.config.community_new_prob * 3,
+            community_size_exponent=self.config.community_size_exponent,
+            friend_cap=self.config.friend_cap,
+        )
+
+    def _secondary_arrival_counts(self) -> np.ndarray | None:
+        if self.config.merge is None:
+            return None
+        sec_cfg = self._secondary_config()
+        return arrival_counts(sec_cfg, self.rng)
+
+    def _run_secondary_day(self, universe: _Universe, day: int, arrivals: int) -> None:
+        """One internal (non-emitting) day in the pre-merge secondary network.
+
+        Times are kept in absolute days so attachment evolves realistically,
+        but nothing is emitted: the whole network is imported at merge time.
+        """
+        if not universe.arrival_time:
+            self._seed_secondary(universe, day)
+        for _ in range(arrivals):
+            node = self._alloc_node(ORIGIN_5Q)
+            t = day + float(self.rng.random())
+            loner = self.rng.random() < self.config.loner_fraction
+            universe.add_node(node, t, loner=loner)
+        for t, node in universe.pop_day(day):
+            dest = universe.attach.choose_destination(node, universe.graph)
+            if dest is not None:
+                self._create_edge(universe, node, dest, t, emit=False)
+
+    def _seed_secondary(self, universe: _Universe, day: int) -> None:
+        seeds = []
+        for i in range(universe.config.seed_nodes):
+            node = self._alloc_node(ORIGIN_5Q)
+            universe.add_node(node, day + i * 1e-3)
+            seeds.append(node)
+        for i, u in enumerate(seeds):
+            for v in seeds[i + 1 :]:
+                self._create_edge(universe, u, v, day + 0.01, emit=False)
+
+    # -- the merge event ----------------------------------------------------
+
+    def _execute_merge(self, primary: _Universe, secondary: _Universe | None) -> None:
+        """Import the secondary network into the primary in a single day.
+
+        All secondary node arrivals are emitted in the first half of the
+        merge day and their internal edges in the second half (the paper's
+        one-day database import).  Duplicate accounts are chosen, one side
+        of each pair is silenced, and every surviving pre-merge user gets a
+        post-merge activity schedule.
+        """
+        merge = self.config.merge
+        merge_day = float(int(merge.merge_day))
+        primary_premerge = [n for n, o in self.origin_of.items() if o == ORIGIN_XIAONEI]
+
+        secondary_nodes: list[int] = []
+        if secondary is not None:
+            secondary_nodes = sorted(secondary.arrival_time)
+            for node in secondary_nodes:
+                t = merge_day + 0.5 * float(self.rng.random())
+                primary.graph.add_node(node)
+                if node in secondary.attach.loners:
+                    primary.attach.loners.add(node)
+                    primary.attach._loner_cluster_of[node] = (
+                        secondary.attach._loner_cluster_of[node]
+                    )
+                else:
+                    community = secondary.attach.community_of[node]
+                    primary.attach.community_of[node] = community
+                    primary.attach.node_draws.append(node)
+                primary.arrival_time[node] = t
+                self._emit_node(node, t, ORIGIN_5Q)
+            for u, v in secondary.graph.edges():
+                t = merge_day + 0.5 + 0.5 * float(self.rng.random())
+                self._create_edge(primary, u, v, t, emit=True)
+
+        self._silence_duplicates(primary_premerge, secondary_nodes)
+        self._schedule_survivors(primary, primary_premerge, secondary_nodes, merge_day)
+        self._merge_executed = True
+
+    def _silence_duplicates(self, primary_nodes: list[int], secondary_nodes: list[int]) -> None:
+        merge = self.config.merge
+        pool = min(len(primary_nodes), len(secondary_nodes))
+        dup_count = int(merge.duplicate_fraction * pool)
+        if dup_count == 0:
+            return
+        prim = self.rng.choice(np.array(primary_nodes), size=dup_count, replace=False)
+        sec = self.rng.choice(np.array(secondary_nodes), size=dup_count, replace=False)
+        for p, s in zip(prim, sec):
+            keep_primary = self.rng.random() < merge.keep_primary_probability
+            self._inactive.add(int(s) if keep_primary else int(p))
+
+    def _schedule_survivors(
+        self,
+        primary: _Universe,
+        primary_nodes: list[int],
+        secondary_nodes: list[int],
+        merge_day: float,
+    ) -> None:
+        merge = self.config.merge
+        for origin_nodes, multiplier, window_factor in (
+            (primary_nodes, merge.primary_activity_multiplier, 1.5),
+            (secondary_nodes, 1.0, 1.0),
+        ):
+            for node in origin_nodes:
+                if node in self._inactive:
+                    continue
+                window = float(self.rng.exponential(merge.survivor_mean_active_days * window_factor))
+                # 1 + Poisson keeps survivors distinguishable from discarded
+                # duplicates in the day-0 activity measurement.
+                mean_extra = max(0.0, merge.burst_edges_mean * multiplier - 1.0)
+                count = 1 + int(self.rng.poisson(mean_extra))
+                for _ in range(count):
+                    if self.rng.random() < 0.6:
+                        gap = float(self.rng.exponential(merge.burst_decay_days))
+                    else:
+                        gap = float(self.rng.random() * window)
+                    t = merge_day + 1.0 + gap
+                    if t < self.config.days:
+                        primary.schedule_event(t, node)
+
+    def _post_merge_bias(self, initiator: int):
+        """Acceptance-bias callback implementing post-merge origin homophily.
+
+        Pre-merge initiators prefer internal over external edges
+        (``internal_bias`` : ``external_bias``); edges to post-merge users
+        sit in between.  Inactive (discarded duplicate) candidates are never
+        accepted.  Post-merge initiators only avoid inactive candidates.
+        """
+        merge = self.config.merge
+        my_origin = self.origin_of[initiator]
+        inactive = self._inactive
+        if my_origin == ORIGIN_NEW:
+            def bias_new(candidate: int) -> float:
+                return 0.0 if candidate in inactive else 1.0
+
+            return bias_new
+
+        origin_of = self.origin_of
+        top = max(merge.internal_bias, merge.external_bias, merge.new_bias)
+
+        def bias(candidate: int) -> float:
+            if candidate in inactive:
+                return 0.0
+            other = origin_of[candidate]
+            if other == my_origin:
+                return merge.internal_bias / top
+            if other == ORIGIN_NEW:
+                return merge.new_bias / top
+            return merge.external_bias / top
+
+        return bias
+
+
+def generate_trace(
+    config: GeneratorConfig,
+    seed: int | np.random.Generator | None = 0,
+) -> EventStream:
+    """Convenience wrapper: ``RenrenGenerator(config, seed).generate()``."""
+    return RenrenGenerator(config, seed).generate()

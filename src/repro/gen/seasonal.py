@@ -1,0 +1,22 @@
+"""Seasonal modulation of arrival and activity rates."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.gen.config import SeasonalDip
+
+__all__ = ["seasonal_factor"]
+
+
+def seasonal_factor(day: float, dips: Sequence[SeasonalDip]) -> float:
+    """Multiplicative rate factor at ``day`` given holiday ``dips``.
+
+    Overlapping dips compound multiplicatively; a day outside every dip has
+    factor 1.0.
+    """
+    factor = 1.0
+    for dip in dips:
+        if dip.active(day):
+            factor *= dip.factor
+    return factor

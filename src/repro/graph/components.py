@@ -1,0 +1,121 @@
+"""Connected components, BFS, and largest-component extraction.
+
+Path-length experiments in the paper sample from the largest connected
+component ("SCC" in the paper's undirected usage, §2).  Implemented from
+scratch with iterative BFS, so arbitrarily deep graphs never hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = [
+    "connected_components",
+    "largest_component",
+    "bfs_distances",
+    "bfs_distance_to_set",
+]
+
+
+def connected_components(graph: GraphSnapshot) -> list[set[int]]:
+    """All connected components, largest first."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for root in graph.nodes():
+        if root in seen:
+            continue
+        component = _bfs_component(graph, root)
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: GraphSnapshot) -> set[int]:
+    """The node set of the largest connected component (empty graph → empty set)."""
+    best: set[int] = set()
+    seen: set[int] = set()
+    for root in graph.nodes():
+        if root in seen:
+            continue
+        component = _bfs_component(graph, root)
+        seen |= component
+        if len(component) > len(best):
+            best = component
+    return best
+
+
+def bfs_distances(
+    graph: GraphSnapshot,
+    source: int,
+    cutoff: int | None = None,
+) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    ``cutoff`` bounds the search depth (inclusive); nodes beyond it are
+    omitted.  Raises :class:`KeyError` for an unknown source.
+    """
+    if source not in graph.adjacency:
+        raise KeyError(f"unknown source node {source}")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if cutoff is not None and d >= cutoff:
+            continue
+        for nbr in graph.adjacency[node]:
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+    return dist
+
+
+def bfs_distance_to_set(
+    graph: GraphSnapshot,
+    source: int,
+    targets: Iterable[int],
+    forbidden: Iterable[int] = (),
+) -> int | None:
+    """Shortest hop distance from ``source`` to any node in ``targets``.
+
+    ``forbidden`` nodes are never traversed **or** counted as targets —
+    the cross-OSN distance experiment (§5.2, Fig 9c) uses this to exclude
+    post-merge users and their edges from the search.  Returns ``None``
+    when no target is reachable.
+    """
+    target_set = set(targets)
+    blocked = set(forbidden)
+    if source in blocked or source not in graph.adjacency:
+        return None
+    if source in target_set:
+        return 0
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        for nbr in graph.adjacency[node]:
+            if nbr in blocked or nbr in dist:
+                continue
+            if nbr in target_set:
+                return d + 1
+            dist[nbr] = d + 1
+            queue.append(nbr)
+    return None
+
+
+def _bfs_component(graph: GraphSnapshot, root: int) -> set[int]:
+    component = {root}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for nbr in graph.adjacency[node]:
+            if nbr not in component:
+                component.add(nbr)
+                queue.append(nbr)
+    return component

@@ -1,0 +1,71 @@
+"""Degree-preserving null model: double-edge-swap randomization.
+
+Measurement studies routinely ask whether an observed structure
+(clustering, modularity, community sizes) is explained by the degree
+sequence alone.  :func:`degree_preserving_rewire` randomizes a snapshot
+with double edge swaps — pick two edges (a,b), (c,d) and rewire to (a,d),
+(c,b) when that creates no self-loop or duplicate — preserving every
+node's degree exactly.  The Renren-like traces show clustering and
+modularity far above their rewired nulls, like the real network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.snapshot import GraphSnapshot
+from repro.util.rng import make_rng
+
+__all__ = ["degree_preserving_rewire"]
+
+
+def degree_preserving_rewire(
+    graph: GraphSnapshot,
+    swaps_per_edge: float = 3.0,
+    seed: int | np.random.Generator | None = 0,
+    max_tries_factor: int = 10,
+) -> GraphSnapshot:
+    """Return a rewired copy of ``graph`` with the same degree sequence.
+
+    Attempts ``swaps_per_edge * num_edges`` successful swaps (the usual
+    burn-in for mixing), giving up after ``max_tries_factor`` times that
+    many proposals.  Graphs with fewer than 2 edges are returned as
+    copies.
+    """
+    if swaps_per_edge < 0:
+        raise ValueError("swaps_per_edge must be non-negative")
+    rng = make_rng(seed)
+    result = graph.copy()
+    edges = list(result.edges())
+    m = len(edges)
+    if m < 2 or swaps_per_edge == 0:
+        return result
+    target_swaps = int(swaps_per_edge * m)
+    max_tries = max_tries_factor * target_swaps
+    adjacency = result.adjacency
+    swaps = 0
+    tries = 0
+    while swaps < target_swaps and tries < max_tries:
+        tries += 1
+        i, j = rng.integers(0, m, size=2)
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        # Propose (a,b),(c,d) -> (a,d),(c,b).
+        if len({a, b, c, d}) < 4:
+            continue
+        if d in adjacency[a] or b in adjacency[c]:
+            continue
+        adjacency[a].discard(b)
+        adjacency[b].discard(a)
+        adjacency[c].discard(d)
+        adjacency[d].discard(c)
+        adjacency[a].add(d)
+        adjacency[d].add(a)
+        adjacency[c].add(b)
+        adjacency[b].add(c)
+        edges[i] = (a, d) if a < d else (d, a)
+        edges[j] = (c, b) if c < b else (b, c)
+        swaps += 1
+    return result

@@ -1,0 +1,76 @@
+"""Event-stream transforms: time rescaling, node subsampling, relabeling.
+
+Utilities for adapting traces between scales — e.g. compressing a long
+real-world trace onto this library's laptop-scale timeline, or carving a
+consistent subsample for a quick look.  All transforms return **new**
+validated streams; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.events import EdgeArrival, EventStream, NodeArrival
+from repro.util.rng import make_rng
+
+__all__ = ["rescale_time", "subsample_nodes", "relabel_nodes", "truncate"]
+
+
+def rescale_time(stream: EventStream, factor: float) -> EventStream:
+    """Multiply every event time by ``factor`` (> 0)."""
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    out = EventStream(
+        nodes=[NodeArrival(ev.time * factor, ev.node, ev.origin) for ev in stream.nodes],
+        edges=[EdgeArrival(ev.time * factor, ev.u, ev.v) for ev in stream.edges],
+    )
+    out.validate()
+    return out
+
+
+def subsample_nodes(
+    stream: EventStream,
+    fraction: float,
+    seed: int | np.random.Generator | None = 0,
+) -> EventStream:
+    """Keep a uniform ``fraction`` of nodes and their induced edges.
+
+    Node sampling (not edge sampling) preserves per-node dynamics like
+    inter-arrival gaps, at the cost of thinning degrees — the standard
+    trade-off for OSN subsamples.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = make_rng(seed)
+    keep = {ev.node for ev in stream.nodes if rng.random() < fraction}
+    out = EventStream(
+        nodes=[ev for ev in stream.nodes if ev.node in keep],
+        edges=[ev for ev in stream.edges if ev.u in keep and ev.v in keep],
+    )
+    out.validate()
+    return out
+
+
+def relabel_nodes(stream: EventStream) -> tuple[EventStream, dict[int, int]]:
+    """Renumber nodes densely (0..N-1) in arrival order.
+
+    Returns ``(new_stream, old_id -> new_id)``.  Useful after
+    :func:`subsample_nodes`, and for anonymizing arbitrary ids.
+    """
+    mapping = {ev.node: idx for idx, ev in enumerate(stream.nodes)}
+    out = EventStream(
+        nodes=[NodeArrival(ev.time, mapping[ev.node], ev.origin) for ev in stream.nodes],
+        edges=[EdgeArrival(ev.time, mapping[ev.u], mapping[ev.v]) for ev in stream.edges],
+    )
+    out.validate()
+    return out, mapping
+
+
+def truncate(stream: EventStream, end_time: float) -> EventStream:
+    """Drop every event after ``end_time`` (inclusive cut)."""
+    out = EventStream(
+        nodes=[ev for ev in stream.nodes if ev.time <= end_time],
+        edges=[ev for ev in stream.edges if ev.time <= end_time],
+    )
+    out.validate()
+    return out

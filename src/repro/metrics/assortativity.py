@@ -1,0 +1,28 @@
+"""Degree assortativity (Figure 1f).
+
+The Pearson correlation coefficient of the degrees at either end of each
+edge.  Each undirected edge contributes both orientations, making the
+measure symmetric (the standard Newman definition).
+"""
+
+from __future__ import annotations
+
+from repro.graph.snapshot import GraphSnapshot
+from repro.util.stats import pearson_correlation
+
+__all__ = ["degree_assortativity"]
+
+
+def degree_assortativity(graph: GraphSnapshot) -> float:
+    """Degree correlation over edges; ``nan`` when undefined (e.g. regular graphs)."""
+    xs: list[int] = []
+    ys: list[int] = []
+    adjacency = graph.adjacency
+    for u, v in graph.edges():
+        du = len(adjacency[u])
+        dv = len(adjacency[v])
+        xs.append(du)
+        ys.append(dv)
+        xs.append(dv)
+        ys.append(du)
+    return pearson_correlation(xs, ys)

@@ -1,0 +1,26 @@
+"""Classifier substrate for community-merge prediction (paper §4.3).
+
+The paper applies an SVM over hand-built community features.  No ML
+framework is available offline, so :mod:`repro.ml.svm` implements a linear
+soft-margin SVM trained with Pegasos-style stochastic subgradient descent,
+with feature standardization and class-balanced weighting.
+"""
+
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.evaluation import (
+    ClassAccuracies,
+    class_accuracies,
+    train_test_split,
+)
+from repro.ml.prediction import MergePredictionResult, predict_merges
+
+__all__ = [
+    "StandardScaler",
+    "LinearSVM",
+    "ClassAccuracies",
+    "class_accuracies",
+    "train_test_split",
+    "MergePredictionResult",
+    "predict_merges",
+]

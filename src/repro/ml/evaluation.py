@@ -1,0 +1,59 @@
+"""Evaluation helpers: per-class accuracy and deterministic splits.
+
+The paper reports two accuracy metrics for merge prediction (§4.3): the
+fraction of actually-merging communities predicted to merge, and the
+fraction of non-merging communities predicted not to merge — i.e. per-class
+recall — plotted against community age (Fig 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["ClassAccuracies", "class_accuracies", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class ClassAccuracies:
+    """Per-class recall for the merge / no-merge classes."""
+
+    merge_accuracy: float
+    no_merge_accuracy: float
+    n_merge: int
+    n_no_merge: int
+
+
+def class_accuracies(y_true: np.ndarray, y_pred: np.ndarray) -> ClassAccuracies:
+    """Compute the paper's two accuracy ratios from ±1 labels."""
+    t = np.asarray(y_true)
+    p = np.asarray(y_pred)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    pos = t > 0
+    neg = ~pos
+    merge_acc = float((p[pos] > 0).mean()) if pos.any() else float("nan")
+    no_merge_acc = float((p[neg] <= 0).mean()) if neg.any() else float("nan")
+    return ClassAccuracies(
+        merge_accuracy=merge_acc,
+        no_merge_accuracy=no_merge_acc,
+        n_merge=int(pos.sum()),
+        n_no_merge=int(neg.sum()),
+    )
+
+
+def train_test_split(
+    n: int,
+    test_fraction: float = 0.3,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic shuffled index split: ``(train_idx, test_idx)``."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = make_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    return order[n_test:], order[:n_test]

@@ -1,0 +1,147 @@
+"""Community-merge prediction pipeline (paper §4.3, Figure 6b).
+
+Glue between :mod:`repro.community.features` and the SVM: build labelled
+samples from a tracking run, split, standardize, train, and report the
+paper's two per-class accuracies both overall and bucketed by community
+age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.community.features import MergeSample, build_merge_dataset
+from repro.community.tracking import CommunityTracker
+from repro.ml.evaluation import ClassAccuracies, class_accuracies, train_test_split
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import LinearSVM
+
+__all__ = ["MergePredictionResult", "predict_merges"]
+
+
+@dataclass(frozen=True)
+class MergePredictionResult:
+    """Outcome of a merge-prediction experiment.
+
+    ``by_age`` maps an age-bucket upper bound (days) to the accuracies over
+    test samples whose community age falls in that bucket — the series of
+    Figure 6(b).
+    """
+
+    overall: ClassAccuracies
+    by_age: dict[float, ClassAccuracies]
+    n_train: int
+    n_test: int
+    positive_rate: float
+
+
+def predict_merges(
+    tracker: CommunityTracker,
+    exclude_times: tuple[float, ...] = (),
+    age_bucket_days: float = 10.0,
+    test_fraction: float = 0.3,
+    folds: int | None = None,
+    seed: int = 0,
+) -> MergePredictionResult:
+    """Train and evaluate the SVM merge predictor on a tracking run.
+
+    With ``folds=None`` a single shuffled train/test split is used; with
+    ``folds=k`` every sample is predicted exactly once by a model trained
+    on the other k-1 folds and the pooled predictions are scored — far
+    more stable when the merge class is tiny (compressed traces).
+    Raises :class:`ValueError` when the tracking run produced too few
+    samples or only one class.
+    """
+    samples = build_merge_dataset(tracker, exclude_times=exclude_times)
+    if len(samples) < 10:
+        raise ValueError(f"only {len(samples)} samples; need at least 10")
+    X = np.stack([s.features for s in samples])
+    y = np.where(np.array([s.merges_next for s in samples]), 1, -1)
+    ages = np.array([s.age_days for s in samples])
+    if np.unique(y).size < 2:
+        raise ValueError("merge dataset contains a single class")
+    if folds is None:
+        eval_idx, y_pred, n_train = _single_split(X, y, test_fraction, seed)
+    else:
+        eval_idx, y_pred, n_train = _cross_validate(X, y, folds, seed)
+    overall = class_accuracies(y[eval_idx], y_pred)
+    by_age: dict[float, ClassAccuracies] = {}
+    eval_ages = ages[eval_idx]
+    if eval_ages.size:
+        top = float(eval_ages.max())
+        edges = np.arange(age_bucket_days, top + age_bucket_days, age_bucket_days)
+        for upper in edges:
+            mask = (eval_ages > upper - age_bucket_days) & (eval_ages <= upper)
+            if mask.sum() == 0:
+                continue
+            by_age[float(upper)] = class_accuracies(y[eval_idx][mask], y_pred[mask])
+    return MergePredictionResult(
+        overall=overall,
+        by_age=by_age,
+        n_train=n_train,
+        n_test=int(eval_idx.size),
+        positive_rate=float((y > 0).mean()),
+    )
+
+
+def _single_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    train_idx, test_idx = train_test_split(len(y), test_fraction, seed)
+    train_idx, test_idx = _ensure_both_classes(y, train_idx, test_idx)
+    scaler = StandardScaler().fit(X[train_idx])
+    model = LinearSVM(seed=seed).fit(scaler.transform(X[train_idx]), y[train_idx])
+    y_pred = model.predict(scaler.transform(X[test_idx]))
+    return test_idx, y_pred, int(train_idx.size)
+
+
+def _cross_validate(
+    X: np.ndarray,
+    y: np.ndarray,
+    folds: int,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    if folds < 2:
+        raise ValueError("folds must be >= 2")
+    from repro.util.rng import make_rng
+
+    n = len(y)
+    order = make_rng(seed).permutation(n)
+    fold_of = np.empty(n, dtype=int)
+    fold_of[order] = np.arange(n) % folds
+    predictions = np.empty(n, dtype=int)
+    for k in range(folds):
+        test_mask = fold_of == k
+        train_idx = np.nonzero(~test_mask)[0]
+        test_idx = np.nonzero(test_mask)[0]
+        if np.unique(y[train_idx]).size < 2:
+            # Fold degenerate: fall back to predicting the majority class.
+            predictions[test_idx] = -1
+            continue
+        scaler = StandardScaler().fit(X[train_idx])
+        model = LinearSVM(seed=seed).fit(scaler.transform(X[train_idx]), y[train_idx])
+        predictions[test_idx] = model.predict(scaler.transform(X[test_idx]))
+    eval_idx = np.arange(n)
+    return eval_idx, predictions, int(n - n // folds)
+
+
+def _ensure_both_classes(
+    y: np.ndarray,
+    train_idx: np.ndarray,
+    test_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    for label in (1, -1):
+        if not (y[train_idx] == label).any():
+            candidates = np.nonzero(y[test_idx] == label)[0]
+            if candidates.size == 0:
+                raise ValueError("cannot form a two-class training set")
+            j = candidates[0]
+            moved = test_idx[j]
+            test_idx = np.delete(test_idx, j)
+            train_idx = np.append(train_idx, moved)
+    return train_idx, test_idx

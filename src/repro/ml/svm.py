@@ -1,0 +1,104 @@
+"""Linear soft-margin SVM trained by Pegasos stochastic subgradient descent.
+
+Pegasos [Shalev-Shwartz et al. 2007] minimizes
+
+    (λ/2)·‖w‖² + (1/n)·Σ max(0, 1 − yᵢ(w·xᵢ + b))
+
+by sampling one example per step with learning rate 1/(λt).  Per-class
+weights compensate label imbalance (community merges are the minority
+class), and the bias term is learned unregularized.  Deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """Binary linear SVM; labels are ±1 (booleans accepted and mapped)."""
+
+    def __init__(
+        self,
+        lambda_reg: float = 1e-3,
+        epochs: int = 30,
+        class_weight: str | dict[int, float] | None = "balanced",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if lambda_reg <= 0:
+            raise ValueError("lambda_reg must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.lambda_reg = lambda_reg
+        self.epochs = epochs
+        self.class_weight = class_weight
+        self._rng = make_rng(seed)
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Train on ``X`` (n × d) with labels ``y`` (±1 or bool)."""
+        X = np.asarray(X, dtype=float)
+        labels = self._to_signs(y)
+        if X.ndim != 2 or X.shape[0] != labels.shape[0]:
+            raise ValueError(f"shape mismatch: X {X.shape}, y {labels.shape}")
+        if np.unique(labels).size < 2:
+            raise ValueError("training data must contain both classes")
+        n, d = X.shape
+        weight_pos, weight_neg = self._class_weights(labels)
+        # Bias as an augmented constant feature: Pegasos' 1/(λt) early steps
+        # would blow up an unregularized bias term.
+        Xa = np.hstack([X, np.ones((n, 1))])
+        w = np.zeros(d + 1)
+        t = 0
+        for _ in range(self.epochs):
+            for i in self._rng.permutation(n):
+                t += 1
+                eta = 1.0 / (self.lambda_reg * t)
+                xi, yi = Xa[i], labels[i]
+                ci = weight_pos if yi > 0 else weight_neg
+                margin = yi * (w @ xi)
+                w *= 1.0 - eta * self.lambda_reg
+                if margin < 1.0:
+                    w += eta * ci * yi * xi
+        self.weights_ = w[:-1]
+        self.bias_ = float(w[-1])
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margins ``w·x + b``."""
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(X, dtype=float) @ self.weights_ + self.bias_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in {-1, +1} (zero margins resolve to +1)."""
+        return np.where(self.decision_function(X) >= 0, 1, -1)
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _to_signs(y: np.ndarray) -> np.ndarray:
+        arr = np.asarray(y)
+        if arr.dtype == bool:
+            return np.where(arr, 1, -1)
+        arr = arr.astype(int)
+        if not set(np.unique(arr)) <= {-1, 1}:
+            raise ValueError("labels must be boolean or ±1")
+        return arr
+
+    def _class_weights(self, labels: np.ndarray) -> tuple[float, float]:
+        if self.class_weight is None:
+            return 1.0, 1.0
+        if isinstance(self.class_weight, dict):
+            return float(self.class_weight.get(1, 1.0)), float(self.class_weight.get(-1, 1.0))
+        if self.class_weight == "balanced":
+            n = labels.size
+            n_pos = int((labels > 0).sum())
+            n_neg = n - n_pos
+            return n / (2.0 * n_pos), n / (2.0 * n_neg)
+        raise ValueError(f"unsupported class_weight {self.class_weight!r}")

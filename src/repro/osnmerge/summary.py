@@ -1,0 +1,99 @@
+"""One-call §5 summary: everything the paper reports about the OSN merge."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.events import ORIGIN_5Q, ORIGIN_XIAONEI, EventStream
+from repro.osnmerge.activity import (
+    activity_threshold,
+    active_users_over_time,
+    duplicate_account_estimate,
+)
+from repro.osnmerge.distance import cross_network_distance
+from repro.osnmerge.edge_rates import (
+    edges_per_day_by_type,
+    internal_external_ratio,
+    new_external_ratio,
+)
+
+__all__ = ["MergeReport", "summarize_merge"]
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Headline §5 numbers for one merged trace.
+
+    Duplicate estimates correspond to the paper's 11% (Xiaonei) / 28%
+    (5Q); ``new_overtakes_*_day`` to Figure 8(c)'s crossovers; the ratio
+    means to Figure 9(a); and the distance fields to Figure 9(c).
+    """
+
+    merge_day: float
+    threshold_days: float
+    xiaonei_users: int
+    fivq_users: int
+    xiaonei_duplicate_estimate: float
+    fivq_duplicate_estimate: float
+    total_internal_edges: int
+    total_external_edges: int
+    total_new_edges: int
+    mean_int_ext_ratio_xiaonei: float
+    mean_int_ext_ratio_fivq: float
+    final_cross_distance: float
+
+    def lines(self) -> list[str]:
+        """Human-readable report lines."""
+        return [
+            f"merge day {self.merge_day:g}; activity threshold {self.threshold_days:.1f}d",
+            f"populations: Xiaonei {self.xiaonei_users}, 5Q {self.fivq_users}",
+            f"duplicates: Xiaonei {100 * self.xiaonei_duplicate_estimate:.1f}% "
+            f"(paper 11%), 5Q {100 * self.fivq_duplicate_estimate:.1f}% (paper 28%)",
+            f"post-merge edges: internal {self.total_internal_edges}, "
+            f"external {self.total_external_edges}, to-new {self.total_new_edges}",
+            f"int/ext ratio: Xiaonei {self.mean_int_ext_ratio_xiaonei:.2f}, "
+            f"5Q {self.mean_int_ext_ratio_fivq:.2f} (paper: >1 vs <1)",
+            f"final cross-OSN distance {self.final_cross_distance:.2f} hops "
+            f"(paper: <1.5)",
+        ]
+
+
+def summarize_merge(
+    stream: EventStream,
+    merge_day: float,
+    threshold: float | None = None,
+    distance_sample: int = 150,
+    seed: int = 0,
+) -> MergeReport:
+    """Run the full §5 pipeline on ``stream`` and return the headline numbers."""
+    if threshold is None:
+        span = stream.end_time - merge_day
+        threshold = min(activity_threshold(stream), max(1.0, span / 4.0))
+    series = {
+        origin: active_users_over_time(stream, merge_day, origin, threshold)
+        for origin in (ORIGIN_XIAONEI, ORIGIN_5Q)
+    }
+    rates = edges_per_day_by_type(stream, merge_day)
+    ratios = internal_external_ratio(rates)
+    distances = cross_network_distance(
+        stream, merge_day, sample_size=distance_sample, interval=5.0, seed=seed
+    )
+    final_distance = float(
+        np.nanmean([distances.xiaonei_to_5q[-1], distances.fivq_to_xiaonei[-1]])
+    )
+    return MergeReport(
+        merge_day=merge_day,
+        threshold_days=threshold,
+        xiaonei_users=series[ORIGIN_XIAONEI].group_size,
+        fivq_users=series[ORIGIN_5Q].group_size,
+        xiaonei_duplicate_estimate=duplicate_account_estimate(series[ORIGIN_XIAONEI]),
+        fivq_duplicate_estimate=duplicate_account_estimate(series[ORIGIN_5Q]),
+        total_internal_edges=int(rates.internal_total.sum()),
+        total_external_edges=int(rates.external.sum()),
+        total_new_edges=int(rates.new_total.sum()),
+        mean_int_ext_ratio_xiaonei=float(np.nanmean(ratios[ORIGIN_XIAONEI][1:])),
+        mean_int_ext_ratio_fivq=float(np.nanmean(ratios[ORIGIN_5Q][1:])),
+        final_cross_distance=final_distance,
+    )

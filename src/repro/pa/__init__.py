@@ -1,0 +1,22 @@
+"""Preferential-attachment strength over time (paper §3.2, Figure 3)."""
+
+from repro.pa.edge_probability import (
+    DestinationRule,
+    EdgeProbabilityTracker,
+    PeCheckpoint,
+)
+from repro.pa.alpha import AlphaSeries, alpha_series, fit_alpha
+from repro.pa.mixture import MixtureEstimate, MixtureSeries, estimate_mixture, mixture_series
+
+__all__ = [
+    "DestinationRule",
+    "EdgeProbabilityTracker",
+    "PeCheckpoint",
+    "AlphaSeries",
+    "alpha_series",
+    "fit_alpha",
+    "MixtureEstimate",
+    "MixtureSeries",
+    "estimate_mixture",
+    "mixture_series",
+]

@@ -1,0 +1,30 @@
+"""Shared numeric and sampling utilities used across the library."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.binning import (
+    cdf_points,
+    empirical_cdf,
+    histogram_counts,
+    log_bins,
+    log_binned_pdf,
+)
+from repro.util.stats import (
+    fit_polynomial,
+    linear_fit_loglog,
+    mean_squared_error,
+    pearson_correlation,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "cdf_points",
+    "empirical_cdf",
+    "histogram_counts",
+    "log_bins",
+    "log_binned_pdf",
+    "fit_polynomial",
+    "linear_fit_loglog",
+    "mean_squared_error",
+    "pearson_correlation",
+]

@@ -1,0 +1,95 @@
+"""Histogram and distribution helpers (linear / logarithmic binning, CDFs).
+
+The paper presents most of its node- and community-level results as PDFs on
+log-log axes or as empirical CDFs; these helpers centralize that bookkeeping
+so each analysis module only worries about collecting samples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "histogram_counts",
+    "log_bins",
+    "log_binned_pdf",
+    "empirical_cdf",
+    "cdf_points",
+]
+
+
+def histogram_counts(values: Iterable[int]) -> dict[int, int]:
+    """Count occurrences of each integer value.
+
+    Returns a plain ``{value: count}`` dict sorted by value, convenient for
+    degree and community-size distributions.
+    """
+    counts = Counter(values)
+    return dict(sorted(counts.items()))
+
+
+def log_bins(min_value: float, max_value: float, bins_per_decade: int = 8) -> np.ndarray:
+    """Build logarithmically spaced bin edges covering ``[min_value, max_value]``.
+
+    Raises :class:`ValueError` if the range is empty or non-positive, since
+    log bins are undefined at or below zero.
+    """
+    if min_value <= 0:
+        raise ValueError(f"min_value must be positive, got {min_value}")
+    if max_value < min_value:
+        raise ValueError(f"max_value {max_value} < min_value {min_value}")
+    if bins_per_decade < 1:
+        raise ValueError(f"bins_per_decade must be >= 1, got {bins_per_decade}")
+    decades = np.log10(max_value / min_value)
+    n_edges = max(2, int(np.ceil(decades * bins_per_decade)) + 1)
+    return np.logspace(np.log10(min_value), np.log10(max_value), n_edges)
+
+
+def log_binned_pdf(
+    samples: Sequence[float] | np.ndarray,
+    bins_per_decade: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Estimate a PDF of positive samples using logarithmic bins.
+
+    Returns ``(bin_centers, density)`` with empty bins dropped.  Density is
+    normalized so that the integral over the bins is 1, which keeps power-law
+    slopes comparable across sample sizes.
+    """
+    data = np.asarray(samples, dtype=float)
+    data = data[data > 0]
+    if data.size == 0:
+        return np.array([]), np.array([])
+    lo, hi = data.min(), data.max()
+    if lo == hi:
+        return np.array([lo]), np.array([1.0])
+    edges = log_bins(lo, hi * (1 + 1e-12), bins_per_decade)
+    counts, edges = np.histogram(data, bins=edges)
+    widths = np.diff(edges)
+    density = counts / (widths * data.size)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    keep = counts > 0
+    return centers[keep], density[keep]
+
+
+def empirical_cdf(samples: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fraction)`` for an empirical CDF."""
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        return np.array([]), np.array([])
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions
+
+
+def cdf_points(samples: Sequence[float] | np.ndarray, at: Sequence[float]) -> np.ndarray:
+    """Evaluate the empirical CDF of ``samples`` at each threshold in ``at``.
+
+    ``cdf_points(x, [t])[0]`` is the fraction of samples ``<= t``.
+    """
+    data = np.sort(np.asarray(samples, dtype=float))
+    thresholds = np.asarray(at, dtype=float)
+    if data.size == 0:
+        return np.zeros(thresholds.shape)
+    return np.searchsorted(data, thresholds, side="right") / data.size

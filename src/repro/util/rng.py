@@ -1,0 +1,35 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library takes either an integer seed or a
+:class:`numpy.random.Generator`.  These helpers normalize the two forms and
+let a parent process hand out independent child generators deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an integer, an existing generator (returned unchanged) or
+    ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` statistically independent children.
+
+    The children are derived from the parent's bit generator via
+    :meth:`numpy.random.BitGenerator.spawn`, so repeated runs with the same
+    parent seed yield the same children.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.Generator(bg) for bg in rng.bit_generator.spawn(count)]

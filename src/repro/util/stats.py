@@ -1,0 +1,89 @@
+"""Small statistics helpers: correlations, log-log fits, polynomial fits.
+
+These are deliberately thin wrappers over numpy so that every analysis module
+shares one definition of, e.g., "the MSE of a pe(d) fit" (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "pearson_correlation",
+    "mean_squared_error",
+    "linear_fit_loglog",
+    "fit_polynomial",
+]
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns ``nan`` when either side has zero variance (the paper's
+    assortativity metric is undefined on such degenerate graphs).
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.shape != ay.shape:
+        raise ValueError(f"length mismatch: {ax.shape} vs {ay.shape}")
+    if ax.size < 2:
+        return float("nan")
+    sx = ax.std()
+    sy = ay.std()
+    if sx == 0 or sy == 0:
+        return float("nan")
+    return float(((ax - ax.mean()) * (ay - ay.mean())).mean() / (sx * sy))
+
+
+def mean_squared_error(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean squared error between two equal-length sequences."""
+    obs = np.asarray(observed, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if obs.shape != pred.shape:
+        raise ValueError(f"length mismatch: {obs.shape} vs {pred.shape}")
+    if obs.size == 0:
+        return float("nan")
+    return float(np.mean((obs - pred) ** 2))
+
+
+def linear_fit_loglog(
+    x: Sequence[float],
+    y: Sequence[float],
+    weights: Sequence[float] | None = None,
+) -> tuple[float, float]:
+    """Fit ``y = c * x**alpha`` by least squares in log-log space.
+
+    Returns ``(alpha, c)``.  Points with non-positive coordinates are
+    dropped.  Raises :class:`ValueError` when fewer than two usable points
+    remain, since a slope is then undefined.
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.shape != ay.shape:
+        raise ValueError(f"length mismatch: {ax.shape} vs {ay.shape}")
+    mask = (ax > 0) & (ay > 0)
+    ax, ay = ax[mask], ay[mask]
+    w = None
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)[mask]
+    if ax.size < 2:
+        raise ValueError("need at least two positive points for a log-log fit")
+    coeffs = np.polyfit(np.log(ax), np.log(ay), deg=1, w=w)
+    alpha = float(coeffs[0])
+    c = float(np.exp(coeffs[1]))
+    return alpha, c
+
+
+def fit_polynomial(x: Sequence[float], y: Sequence[float], degree: int) -> np.ndarray:
+    """Least-squares polynomial fit; returns coefficients, highest power first.
+
+    Used to approximate α(t) as a polynomial of the network edge count, as in
+    the annotation of the paper's Figure 3(c).
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.size <= degree:
+        raise ValueError(f"need more than {degree} points for a degree-{degree} fit")
+    return np.polyfit(ax, ay, deg=degree)

@@ -1,0 +1,83 @@
+"""Tests for the repro.analysis experiment layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisContext, list_experiments, run_experiment
+from repro.analysis.experiments import ExperimentResult
+from repro.gen.config import presets
+
+ALL_EXPERIMENTS = [
+    "F1a", "F1b", "F1c", "F1d", "F1e", "F1f",
+    "F2a", "F2b", "F2c",
+    "F3ab", "F3c",
+    "F4a", "F4b", "F4c",
+    "F5a", "F5b", "F5c",
+    "F6a", "F6b", "F6c",
+    "F7a", "F7b", "F7c",
+    "F8a", "F8b", "F8c",
+    "F9a", "F9b", "F9c",
+]
+
+
+def test_registry_complete():
+    assert list_experiments() == sorted(ALL_EXPERIMENTS)
+
+
+def test_unknown_experiment_raises():
+    ctx = AnalysisContext(presets.tiny(), seed=0)
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("F99", ctx)
+
+
+class TestContextCaching:
+    def test_stream_cached(self):
+        ctx = AnalysisContext(presets.tiny(days=25, target_nodes=120), seed=0)
+        assert ctx.stream is ctx.stream
+
+    def test_merge_day_requires_merge(self):
+        ctx = AnalysisContext(presets.tiny(), seed=0)
+        with pytest.raises(ValueError):
+            _ = ctx.merge_day
+
+    def test_merge_day_value(self):
+        cfg = presets.tiny_merge(days=40, target_nodes=400)
+        ctx = AnalysisContext(cfg, seed=0)
+        assert ctx.merge_day == float(int(cfg.merge.merge_day))
+
+
+class TestResultType:
+    def test_summary_lines_format(self):
+        result = ExperimentResult(
+            experiment="FX",
+            title="Example",
+            findings={"metric": 1.2345},
+            paper={"metric": "about 1.2"},
+            notes=["a note"],
+        )
+        lines = result.summary_lines()
+        assert lines[0] == "[FX] Example"
+        assert any("metric" in line and "about 1.2" in line for line in lines)
+        assert any("note: a note" in line for line in lines)
+
+
+@pytest.fixture(scope="module")
+def merge_ctx():
+    cfg = presets.tiny_merge(days=80, target_nodes=1200)
+    return AnalysisContext(cfg, seed=13, tracking_interval=5.0)
+
+
+@pytest.mark.parametrize("experiment", ALL_EXPERIMENTS)
+def test_experiment_runs_and_produces_findings(merge_ctx, experiment):
+    try:
+        result = run_experiment(experiment, merge_ctx)
+    except ValueError as exc:
+        # Some community experiments need more events than a tiny trace has.
+        pytest.skip(f"{experiment} needs a larger trace: {exc}")
+    assert result.experiment == experiment
+    assert result.title
+    assert result.findings or result.series
+    for name, value in result.findings.items():
+        assert np.isfinite(value), f"finding {name} not finite"
+    for name, (x, y) in result.series.items():
+        assert x.shape == y.shape, f"series {name} misaligned"

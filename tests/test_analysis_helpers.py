@@ -1,0 +1,56 @@
+"""Unit tests for analysis-driver helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fig7 import scaled_size_buckets
+from repro.analysis.fig8 import _crossover_day
+from repro.analysis.fig9 import _first_sustained_above
+
+
+class TestCrossoverDay:
+    def test_simple_crossover(self):
+        lower = np.array([10, 10, 10, 10, 10, 10, 10], dtype=float)
+        upper = np.array([0, 1, 2, 11, 12, 13, 14], dtype=float)
+        assert _crossover_day(upper, lower) == 3.0
+
+    def test_requires_persistence(self):
+        lower = np.full(8, 10.0)
+        upper = np.array([0, 20, 0, 0, 11, 12, 13, 14], dtype=float)
+        # Day 1 spikes above but does not persist for 3 days.
+        assert _crossover_day(upper, lower, persist=3) == 4.0
+
+    def test_no_crossover_nan(self):
+        assert np.isnan(_crossover_day(np.zeros(6), np.full(6, 5.0)))
+
+    def test_zero_window_not_counted(self):
+        # Both series zero: "upper >= lower" holds but no edges were created.
+        assert np.isnan(_crossover_day(np.zeros(6), np.zeros(6)))
+
+
+class TestFirstSustainedAbove:
+    def test_basic(self):
+        series = np.array([0.0, 0.5, 1.2, 1.5, 1.1, 2.0])
+        assert _first_sustained_above(series, 1.0) == 2.0
+
+    def test_nan_breaks_run(self):
+        series = np.array([0.0, 1.5, np.nan, 1.5, 1.5, 1.5, 1.5])
+        assert _first_sustained_above(series, 1.0) == 3.0
+
+    def test_never_nan(self):
+        assert np.isnan(_first_sustained_above(np.zeros(10), 1.0))
+
+
+class TestScaledSizeBuckets:
+    def test_structure(self):
+        buckets = scaled_size_buckets(8000)
+        assert len(buckets) == 4
+        assert buckets[0][0] == 10
+        assert buckets[-1][1] == float("inf")
+        for (lo1, hi1), (lo2, _) in zip(buckets, buckets[1:]):
+            assert hi1 == lo2
+
+    def test_monotone_in_total(self):
+        small = scaled_size_buckets(1000)
+        large = scaled_size_buckets(100_000)
+        assert large[-1][0] >= small[-1][0]

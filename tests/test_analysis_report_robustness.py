@@ -1,0 +1,74 @@
+"""Tests for repro.analysis.report and repro.analysis.robustness."""
+
+import pytest
+
+from repro.analysis import AnalysisContext
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.report import generate_report, render_markdown, run_all_experiments
+from repro.analysis.robustness import seed_sweep
+from repro.gen.config import presets
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return AnalysisContext(presets.tiny_merge(days=60, target_nodes=700), seed=5,
+                           tracking_interval=6.0)
+
+
+class TestRenderMarkdown:
+    def test_renders_findings_and_paper(self):
+        result = ExperimentResult(
+            experiment="FX",
+            title="Demo",
+            findings={"metric": 2.0},
+            paper={"metric": "around 2"},
+        )
+        text = render_markdown({"FX": result})
+        assert "## FX — Demo" in text
+        assert "| `metric` | 2 | around 2 |" in text
+
+    def test_renders_skips(self):
+        text = render_markdown({"FY": ValueError("too small")})
+        assert "SKIPPED" in text
+        assert "too small" in text
+
+    def test_preamble_first(self):
+        text = render_markdown({}, preamble="# Title")
+        assert text.startswith("# Title")
+
+
+class TestRunAll:
+    def test_requires_default(self):
+        with pytest.raises(ValueError):
+            run_all_experiments({}, None)
+
+    def test_covers_all_experiments(self, tiny_ctx):
+        results = run_all_experiments({}, tiny_ctx)
+        from repro.analysis import list_experiments
+
+        assert set(results) == set(list_experiments())
+
+    def test_generate_report_is_markdown(self, tiny_ctx):
+        text = generate_report(tiny_ctx, preamble="# Report")
+        assert text.startswith("# Report")
+        assert "## F1a" in text
+        assert "full run:" in text
+
+
+class TestSeedSweep:
+    def test_sweep_aggregates(self):
+        cfg = presets.tiny(days=40, target_nodes=400)
+        spreads = seed_sweep("F2b", cfg, seeds=(1, 2))
+        assert "front_loading_ratio" in spreads
+        spread = spreads["front_loading_ratio"]
+        assert len(spread.values) == 2
+        assert spread.ci.low <= spread.ci.high
+
+    def test_front_loading_sign_stable(self):
+        cfg = presets.tiny(days=40, target_nodes=400)
+        spreads = seed_sweep("F2b", cfg, seeds=(1, 2, 3))
+        assert spreads["front_loading_ratio"].all_positive
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep("F2b", presets.tiny(), seeds=())

@@ -1,0 +1,73 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.stream_io import read_event_stream, write_event_stream
+
+
+@pytest.fixture()
+def trace_path(tmp_path, tiny_stream):
+    path = tmp_path / "trace.tsv"
+    write_event_stream(tiny_stream, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--preset", "tiny", "--out", "x.tsv", "--nodes", "100"]
+        )
+        assert args.command == "generate"
+        assert args.nodes == 100
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--preset", "bogus", "--out", "x"])
+
+
+class TestCommands:
+    def test_generate_writes_valid_trace(self, tmp_path, capsys):
+        out = tmp_path / "gen.tsv"
+        code = main([
+            "generate", "--preset", "tiny", "--seed", "3",
+            "--nodes", "150", "--days", "25", "--out", str(out),
+        ])
+        assert code == 0
+        stream = read_event_stream(out)
+        assert stream.num_nodes > 50
+        assert "wrote" in capsys.readouterr().out
+
+    def test_info(self, trace_path, capsys):
+        assert main(["info", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "avg degree" in out
+
+    def test_metrics(self, trace_path, capsys):
+        assert main(["metrics", trace_path, "--interval", "30", "--path-sample", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "average_degree" in out
+        assert len(out.strip().splitlines()) >= 3
+
+    def test_communities(self, trace_path, capsys):
+        assert main(["communities", trace_path, "--interval", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "modularity" in out
+        assert "events:" in out
+
+    def test_experiment_single(self, capsys):
+        code = main([
+            "experiment", "F2b", "--preset", "tiny",
+            "--seed", "3", "--nodes", "300", "--days", "40",
+        ])
+        assert code == 0
+        assert "[F2b]" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "F99", "--preset", "tiny", "--nodes", "100", "--days", "20"]) == 2
+        assert "error" in capsys.readouterr().err

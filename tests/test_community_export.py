@@ -1,0 +1,61 @@
+"""Tests for repro.community.export."""
+
+import json
+
+import pytest
+
+from repro.community.export import (
+    read_tracking_json,
+    tracker_to_dict,
+    write_tracking_json,
+)
+
+
+class TestTrackerToDict:
+    def test_structure(self, tiny_tracker):
+        data = tracker_to_dict(tiny_tracker)
+        assert data["format"] == "repro-community-tracking-v1"
+        assert len(data["snapshots"]) == len(tiny_tracker.snapshots)
+        assert len(data["events"]) == len(tiny_tracker.events)
+
+    def test_members_roundtrip(self, tiny_tracker):
+        data = tracker_to_dict(tiny_tracker)
+        snap = tiny_tracker.snapshots[-1]
+        exported = data["snapshots"][-1]["communities"]
+        sizes_a = sorted(c["size"] for c in exported)
+        sizes_b = sorted(s.size for s in snap.states.values())
+        assert sizes_a == sizes_b
+        for community in exported:
+            assert community["size"] == len(community["members"])
+
+    def test_json_serializable(self, tiny_tracker):
+        text = json.dumps(tracker_to_dict(tiny_tracker))
+        assert "repro-community-tracking-v1" in text
+
+    def test_lineage_lifetimes_exported(self, tiny_tracker):
+        data = tracker_to_dict(tiny_tracker)
+        for lineage in data["lineages"]:
+            assert lineage["lifetime"] >= 0
+            assert len(lineage["sizes"]) >= 1
+
+
+class TestFileRoundtrip:
+    def test_write_read(self, tmp_path, tiny_tracker):
+        path = tmp_path / "tracking.json"
+        write_tracking_json(tiny_tracker, path)
+        data = read_tracking_json(path)
+        assert data["min_size"] == tiny_tracker.min_size
+        assert len(data["snapshots"]) == len(tiny_tracker.snapshots)
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="not a repro-community-tracking"):
+            read_tracking_json(path)
+
+    def test_nan_similarity_becomes_null(self, tmp_path, tiny_tracker):
+        path = tmp_path / "tracking.json"
+        write_tracking_json(tiny_tracker, path)
+        data = read_tracking_json(path)
+        first = data["snapshots"][0]
+        assert first["avg_similarity"] is None

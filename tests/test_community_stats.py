@@ -1,0 +1,114 @@
+"""Tests for repro.community.stats and merge_split."""
+
+import numpy as np
+import pytest
+
+from repro.community.merge_split import (
+    merge_size_ratios,
+    size_ratio_cdfs,
+    split_size_ratios,
+    strongest_tie_rate,
+)
+from repro.community.stats import (
+    community_lifetimes,
+    community_size_distribution,
+    lifetime_cdf,
+    top_k_coverage,
+)
+from repro.community.tracking import CommunityEvent, CommunityState, TrackedSnapshot
+
+
+def make_snapshot(sizes: list[int]) -> TrackedSnapshot:
+    states = {}
+    base = 0
+    for lin, size in enumerate(sizes):
+        members = frozenset(range(base, base + size))
+        base += size
+        states[lin] = CommunityState(
+            lineage=lin,
+            time=1.0,
+            members=members,
+            internal_edges=size,
+            degree_sum=3 * size,
+            similarity=1.0,
+        )
+    return TrackedSnapshot(
+        time=1.0, states=states, modularity=0.5, avg_similarity=0.9, num_communities=len(sizes)
+    )
+
+
+class TestSizeDistribution:
+    def test_counts(self):
+        snap = make_snapshot([10, 10, 25])
+        assert community_size_distribution(snap) == {10: 2, 25: 1}
+
+    def test_empty(self):
+        assert community_size_distribution(make_snapshot([])) == {}
+
+
+class TestTopKCoverage:
+    def test_basic(self):
+        snap = make_snapshot([50, 30, 20])
+        cov = top_k_coverage(snap, total_nodes=200, k=5)
+        assert cov == pytest.approx([0.25, 0.15, 0.10, 0.0, 0.0])
+
+    def test_requires_positive_total(self):
+        with pytest.raises(ValueError):
+            top_k_coverage(make_snapshot([10]), total_nodes=0)
+
+    def test_ordering(self, tiny_tracker):
+        snap = tiny_tracker.snapshots[-1]
+        cov = top_k_coverage(snap, total_nodes=10_000)
+        assert cov == sorted(cov, reverse=True)
+
+
+class TestLifetimes:
+    def test_only_observed_deaths_by_default(self, tiny_tracker):
+        observed = community_lifetimes(tiny_tracker)
+        with_alive = community_lifetimes(tiny_tracker, include_alive=True)
+        assert with_alive.size >= observed.size
+
+    def test_cdf_shape(self, tiny_tracker):
+        xs, ys = lifetime_cdf(tiny_tracker)
+        if xs.size:
+            assert np.all(np.diff(ys) >= 0)
+            assert ys[-1] == pytest.approx(1.0)
+
+
+class TestMergeSplitStats:
+    def _tracker_with_events(self):
+        class Stub:
+            events = [
+                CommunityEvent(kind="merge", time=1.0, subject=1, other=0, size_ratio=0.01, strongest_tie=True),
+                CommunityEvent(kind="merge", time=2.0, subject=2, other=0, size_ratio=0.02, strongest_tie=True),
+                CommunityEvent(kind="merge", time=3.0, subject=3, other=0, size_ratio=float("nan"), strongest_tie=False),
+                CommunityEvent(kind="split", time=2.0, subject=0, children=(9,), size_ratio=0.8),
+                CommunityEvent(kind="birth", time=0.0, subject=0),
+            ]
+
+        return Stub()
+
+    def test_ratios_extracted(self):
+        tracker = self._tracker_with_events()
+        assert merge_size_ratios(tracker).tolist() == [0.01, 0.02]
+        assert split_size_ratios(tracker).tolist() == [0.8]
+
+    def test_cdfs(self):
+        cdfs = size_ratio_cdfs(self._tracker_with_events())
+        xs, ys = cdfs["merge"]
+        assert xs.tolist() == [0.01, 0.02]
+        assert ys.tolist() == [0.5, 1.0]
+
+    def test_strongest_tie_summary(self):
+        summary = strongest_tie_rate(self._tracker_with_events())
+        assert summary.total_merges == 3
+        assert summary.with_tie_info == 3
+        assert summary.strongest_tie_hits == 2
+        assert summary.hit_rate == pytest.approx(2 / 3)
+
+    def test_merges_asymmetric_splits_balanced_on_trace(self, tiny_tracker):
+        """Fig 6(a)'s qualitative contrast, when both event kinds occurred."""
+        merges = merge_size_ratios(tiny_tracker)
+        splits = split_size_ratios(tiny_tracker)
+        if merges.size >= 3 and splits.size >= 3:
+            assert np.median(merges) < np.median(splits)

@@ -1,0 +1,55 @@
+"""Tests for repro.edges.powerlaw."""
+
+import numpy as np
+import pytest
+
+from repro.edges.powerlaw import fit_power_law_binned, fit_power_law_mle
+from repro.util.rng import make_rng
+
+
+def pareto_samples(alpha: float, n: int, xmin: float = 1.0, seed: int = 0) -> np.ndarray:
+    u = make_rng(seed).random(n)
+    return xmin * u ** (-1.0 / (alpha - 1.0))
+
+
+class TestMle:
+    def test_recovers_exponent(self):
+        samples = pareto_samples(2.3, 50_000, seed=1)
+        fit = fit_power_law_mle(samples)
+        assert fit.exponent == pytest.approx(2.3, abs=0.05)
+
+    def test_explicit_xmin(self):
+        samples = np.concatenate([np.full(1000, 0.5), pareto_samples(2.0, 20_000, seed=2)])
+        fit = fit_power_law_mle(samples, xmin=1.0)
+        assert fit.exponent == pytest.approx(2.0, abs=0.1)
+        assert fit.xmin == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fit_power_law_mle([])
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            fit_power_law_mle([2.0, 2.0, 2.0])
+
+    def test_pdf_normalized(self):
+        fit = fit_power_law_mle(pareto_samples(2.5, 5000, seed=3))
+        x = np.linspace(fit.xmin, fit.xmin * 1000, 200_000)
+        integral = np.trapezoid(fit.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+
+class TestBinned:
+    def test_recovers_exponent(self):
+        samples = pareto_samples(2.0, 100_000, seed=4)
+        fit = fit_power_law_binned(samples, bins_per_decade=6)
+        assert fit.exponent == pytest.approx(2.0, abs=0.25)
+
+    def test_xmin_filter(self):
+        samples = pareto_samples(2.0, 50_000, seed=5)
+        fit = fit_power_law_binned(samples, xmin=2.0)
+        assert fit.xmin >= 2.0
+
+    def test_insufficient_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law_binned([1.0])

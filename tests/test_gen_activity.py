@@ -1,0 +1,84 @@
+"""Tests for repro.gen.activity."""
+
+import numpy as np
+import pytest
+
+from repro.gen.activity import draw_budget, power_law_gaps, schedule_activity
+from repro.gen.config import GeneratorConfig
+from repro.util.rng import make_rng
+
+
+class TestDrawBudget:
+    def test_bounds(self):
+        cfg = GeneratorConfig(budget_cap=50)
+        rng = make_rng(0)
+        budgets = [draw_budget(cfg, rng) for _ in range(500)]
+        assert all(1 <= b <= 50 for b in budgets)
+
+    def test_mean_close_to_config(self):
+        cfg = GeneratorConfig(mean_budget=10.0, budget_cap=10_000)
+        rng = make_rng(1)
+        budgets = [draw_budget(cfg, rng) for _ in range(20_000)]
+        assert np.mean(budgets) == pytest.approx(10.0, rel=0.25)
+
+    def test_heavy_tail_exists(self):
+        cfg = GeneratorConfig(mean_budget=10.0, budget_cap=10_000)
+        rng = make_rng(2)
+        budgets = [draw_budget(cfg, rng) for _ in range(5_000)]
+        assert max(budgets) > 10 * np.median(budgets)
+
+    def test_rejects_shape_below_one(self):
+        cfg = GeneratorConfig(budget_shape=1.9)
+        object.__setattr__(cfg, "budget_shape", 0.9)
+        with pytest.raises(ValueError):
+            draw_budget(cfg, make_rng(0))
+
+
+class TestPowerLawGaps:
+    def test_minimum_respected(self):
+        gaps = power_law_gaps(1000, 2.5, 0.25, make_rng(0))
+        assert gaps.min() >= 0.25
+
+    def test_cap_respected(self):
+        gaps = power_law_gaps(1000, 1.1, 0.25, make_rng(0), max_gap=50.0)
+        assert gaps.max() <= 50.0
+
+    def test_exponent_recovered_by_mle(self):
+        gaps = power_law_gaps(50_000, 2.2, 1.0, make_rng(3), max_gap=1e9)
+        alpha = 1.0 + gaps.size / np.log(gaps / 1.0).sum()
+        assert alpha == pytest.approx(2.2, abs=0.05)
+
+    def test_rejects_exponent_at_one(self):
+        with pytest.raises(ValueError):
+            power_law_gaps(10, 1.0, 0.25, make_rng(0))
+
+
+class TestScheduleActivity:
+    def test_sorted_and_sized(self):
+        cfg = GeneratorConfig()
+        times = schedule_activity(10.0, 20, cfg, make_rng(0))
+        assert len(times) == 20
+        assert times == sorted(times)
+
+    def test_no_event_before_arrival(self):
+        cfg = GeneratorConfig()
+        times = schedule_activity(10.0, 30, cfg, make_rng(1))
+        assert min(times) >= 10.0
+
+    def test_burst_lands_on_arrival_day(self):
+        cfg = GeneratorConfig(burst_mean=3.0)
+        times = schedule_activity(5.0, 10, cfg, make_rng(2))
+        assert any(5.0 <= t < 6.0 for t in times)
+
+    def test_budget_one(self):
+        cfg = GeneratorConfig()
+        times = schedule_activity(0.0, 1, cfg, make_rng(3))
+        assert len(times) == 1
+        assert 0.0 <= times[0] < 1.0
+
+    def test_long_term_fraction_spreads_events(self):
+        cfg = GeneratorConfig(long_term_fraction=1.0, burst_mean=0.0, days=200.0)
+        rng = make_rng(4)
+        times = schedule_activity(0.0, 200, cfg, rng, horizon=200.0)
+        # With everything background-scheduled, events should span the trace.
+        assert max(times) > 100.0

@@ -1,0 +1,64 @@
+"""Tests for repro.gen.arrivals and repro.gen.seasonal."""
+
+import numpy as np
+import pytest
+
+from repro.gen.arrivals import arrival_counts, daily_rates
+from repro.gen.config import GeneratorConfig, SeasonalDip
+from repro.gen.seasonal import seasonal_factor
+from repro.util.rng import make_rng
+
+
+class TestSeasonalFactor:
+    def test_outside_dips(self):
+        assert seasonal_factor(5.0, ()) == 1.0
+
+    def test_inside_dip(self):
+        dips = (SeasonalDip(10, 5, factor=0.4),)
+        assert seasonal_factor(12.0, dips) == pytest.approx(0.4)
+
+    def test_overlapping_dips_compound(self):
+        dips = (SeasonalDip(10, 5, factor=0.5), SeasonalDip(12, 5, factor=0.5))
+        assert seasonal_factor(13.0, dips) == pytest.approx(0.25)
+
+
+class TestDailyRates:
+    def test_total_matches_target(self):
+        cfg = GeneratorConfig(days=100, target_nodes=5000)
+        rates = daily_rates(cfg)
+        assert rates.sum() == pytest.approx(cfg.target_nodes - cfg.seed_nodes)
+
+    def test_exponential_envelope(self):
+        cfg = GeneratorConfig(days=100, target_nodes=5000, growth_rate=0.05)
+        rates = daily_rates(cfg)
+        ratios = rates[1:] / rates[:-1]
+        assert np.allclose(ratios, np.exp(0.05))
+
+    def test_dips_shape_the_curve(self):
+        dip = SeasonalDip(start_day=40, length_days=10, factor=0.3)
+        cfg = GeneratorConfig(days=100, target_nodes=5000, seasonal_dips=(dip,))
+        rates = daily_rates(cfg)
+        assert rates[45] < rates[39]
+        assert rates[45] < rates[51]
+
+    def test_length(self):
+        cfg = GeneratorConfig(days=33.5, target_nodes=1000)
+        assert daily_rates(cfg).size == 34
+
+
+class TestArrivalCounts:
+    def test_deterministic_for_seed(self):
+        cfg = GeneratorConfig(days=50, target_nodes=2000)
+        a = arrival_counts(cfg, make_rng(5))
+        b = arrival_counts(cfg, make_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_total_near_target(self):
+        cfg = GeneratorConfig(days=50, target_nodes=5000)
+        counts = arrival_counts(cfg, make_rng(1))
+        assert counts.sum() == pytest.approx(cfg.target_nodes, rel=0.1)
+
+    def test_nonnegative_integers(self):
+        cfg = GeneratorConfig(days=50, target_nodes=500)
+        counts = arrival_counts(cfg, make_rng(2))
+        assert (counts >= 0).all()

@@ -1,0 +1,133 @@
+"""Tests for repro.gen.attachment."""
+
+import numpy as np
+import pytest
+
+from repro.gen.attachment import AttachmentState, pa_weight, spotlight_weight
+from repro.gen.config import GeneratorConfig
+from repro.graph.snapshot import GraphSnapshot
+from repro.util.rng import make_rng
+
+
+def build_state(config=None, seed=0):
+    cfg = config or GeneratorConfig()
+    state = AttachmentState(cfg, make_rng(seed))
+    graph = GraphSnapshot()
+    return cfg, state, graph
+
+
+class TestWeights:
+    def test_pa_weight_decays(self):
+        cfg = GeneratorConfig(pa_start=1.0, pa_end=0.0, pa_halflife_edges=1000)
+        assert pa_weight(0, cfg) == pytest.approx(1.0)
+        assert pa_weight(1000, cfg) == pytest.approx(0.5)
+        assert pa_weight(100_000, cfg) < 0.02
+
+    def test_pa_weight_floor(self):
+        cfg = GeneratorConfig(pa_start=0.9, pa_end=0.2)
+        assert pa_weight(10**9, cfg) == pytest.approx(0.2, abs=1e-3)
+
+    def test_spotlight_decays(self):
+        cfg = GeneratorConfig(spotlight_start=0.8, pa_halflife_edges=1000)
+        assert spotlight_weight(0, cfg) == pytest.approx(0.8)
+        assert spotlight_weight(1000, cfg) == pytest.approx(0.4)
+
+
+class TestChooseDestination:
+    def test_no_candidates_returns_none(self):
+        cfg, state, graph = build_state()
+        graph.add_node(0)
+        state.add_node(0, community=0)
+        assert state.choose_destination(0, graph) is None
+
+    def test_valid_destination(self):
+        cfg, state, graph = build_state()
+        for n in range(4):
+            graph.add_node(n)
+            state.add_node(n, community=0)
+        dest = state.choose_destination(0, graph)
+        assert dest in {1, 2, 3}
+
+    def test_never_returns_existing_neighbor_or_self(self):
+        cfg, state, graph = build_state()
+        for n in range(3):
+            graph.add_node(n)
+            state.add_node(n, community=0)
+        graph.add_edge(0, 1)
+        state.record_edge(0, 1)
+        for _ in range(50):
+            dest = state.choose_destination(0, graph)
+            assert dest in (None, 2)
+
+    def test_respects_friend_cap(self):
+        cfg = GeneratorConfig(friend_cap=1)
+        _, state, graph = build_state(cfg)
+        for n in range(3):
+            graph.add_node(n)
+            state.add_node(n, community=0)
+        graph.add_edge(1, 2)
+        state.record_edge(1, 2)
+        # Candidates 1 and 2 are both at the cap.
+        assert state.choose_destination(0, graph) is None
+
+    def test_accept_bias_zero_blocks(self):
+        cfg, state, graph = build_state()
+        for n in range(5):
+            graph.add_node(n)
+            state.add_node(n, community=0)
+        blocked = {1, 2, 3, 4}
+        bias = lambda c: 0.0 if c in blocked else 1.0
+        assert state.choose_destination(0, graph, accept_bias=bias) is None
+
+    def test_preferential_attachment_prefers_hubs(self):
+        cfg = GeneratorConfig(
+            triadic_probability=0.0,
+            local_probability=0.0,
+            pa_start=1.0,
+            pa_end=1.0,
+            spotlight_start=0.0,
+        )
+        _, state, graph = build_state(cfg, seed=3)
+        # Star around node 0, plus isolated candidates.
+        for n in range(30):
+            graph.add_node(n)
+            state.add_node(n, community=n)
+        for leaf in range(1, 20):
+            graph.add_edge(0, leaf)
+            state.record_edge(0, leaf)
+        initiator = 25
+        hits = sum(
+            1 for _ in range(200) if state.choose_destination(initiator, graph) == 0
+        )
+        # Node 0 holds half the endpoint mass; it should dominate.
+        assert hits > 60
+
+    def test_triadic_closure_hits_friends_of_friends(self):
+        cfg = GeneratorConfig(triadic_probability=1.0, local_probability=0.0)
+        _, state, graph = build_state(cfg, seed=4)
+        for n in range(4):
+            graph.add_node(n)
+            state.add_node(n, community=n)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        state.record_edge(0, 1)
+        state.record_edge(1, 2)
+        # Friend-of-friend of 0 through 1 is only node 2.
+        for _ in range(20):
+            dest = state.choose_destination(0, graph)
+            assert dest in (None, 2)
+
+    def test_local_probability_override(self):
+        cfg = GeneratorConfig(triadic_probability=0.0, local_probability=1.0)
+        _, state, graph = build_state(cfg, seed=5)
+        # Two communities; initiator in community 0 with one same-community peer.
+        for n, comm in [(0, 0), (1, 0), (2, 1), (3, 1), (4, 1)]:
+            graph.add_node(n)
+            state.add_node(n, comm)
+        picks = {state.choose_destination(0, graph) for _ in range(30)}
+        assert picks <= {1, None}
+        # With locality forced off, other communities become reachable.
+        picks_global = {
+            state.choose_destination(0, graph, local_probability=0.0) for _ in range(60)
+        }
+        assert picks_global & {2, 3, 4}

@@ -1,0 +1,91 @@
+"""Tests for repro.gen.config."""
+
+import pytest
+
+from repro.gen.config import (
+    GeneratorConfig,
+    MergeConfig,
+    SeasonalDip,
+    expected_premerge_nodes,
+    presets,
+)
+
+
+class TestSeasonalDip:
+    def test_active_window(self):
+        dip = SeasonalDip(start_day=10, length_days=5)
+        assert not dip.active(9.9)
+        assert dip.active(10.0)
+        assert dip.active(14.9)
+        assert not dip.active(15.0)
+
+
+class TestGeneratorConfigValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(days=0)
+
+    def test_rejects_target_below_seeds(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(target_nodes=2, seed_nodes=16)
+
+    def test_rejects_bad_pa_range(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(pa_start=0.2, pa_end=0.5)
+
+    def test_rejects_gap_exponent_at_one(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(gap_exponent=1.0)
+
+    def test_rejects_bad_merge_days(self):
+        merge = MergeConfig(merge_day=200, secondary_start_day=40, secondary_target_nodes=50)
+        with pytest.raises(ValueError):
+            GeneratorConfig(days=160, merge=merge)
+
+    def test_with_merge(self):
+        merge = MergeConfig(merge_day=80, secondary_start_day=40, secondary_target_nodes=50)
+        cfg = GeneratorConfig().with_merge(merge)
+        assert cfg.merge is merge
+
+
+class TestPresets:
+    def test_tiny_has_no_merge(self):
+        assert presets.tiny().merge is None
+
+    def test_tiny_merge_timeline(self):
+        cfg = presets.tiny_merge()
+        assert 0 < cfg.merge.secondary_start_day < cfg.merge.merge_day < cfg.days
+
+    def test_small_has_dips_and_merge(self):
+        cfg = presets.small()
+        assert len(cfg.seasonal_dips) == 4
+        assert cfg.merge is not None
+
+    def test_small_populations_comparable(self):
+        cfg = presets.small()
+        premerge = expected_premerge_nodes(
+            cfg.target_nodes, cfg.growth_rate, cfg.merge.merge_day, cfg.days
+        )
+        ratio = cfg.merge.secondary_target_nodes / premerge
+        assert 0.9 < ratio < 1.3  # paper: 670K vs 624K
+
+    def test_paper_scale_small_larger(self):
+        assert presets.paper_scale_small().target_nodes > presets.small().target_nodes
+
+    def test_merge_study_slower_growth(self):
+        assert presets.merge_study().growth_rate < presets.small().growth_rate
+
+
+class TestExpectedPremerge:
+    def test_half_time_exponential(self):
+        # With rate 0 the envelope is flat: half the users by half time.
+        value = expected_premerge_nodes(1000, 1e-9, 50.0, 100.0)
+        assert value == pytest.approx(500, abs=1)
+
+    def test_monotone_in_merge_day(self):
+        early = expected_premerge_nodes(1000, 0.03, 40.0, 160.0)
+        late = expected_premerge_nodes(1000, 0.03, 120.0, 160.0)
+        assert early < late

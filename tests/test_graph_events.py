@@ -1,0 +1,120 @@
+"""Tests for repro.graph.events."""
+
+import pytest
+
+from repro.graph.events import EdgeArrival, EventStream, NodeArrival
+
+
+def make_stream() -> EventStream:
+    return EventStream(
+        nodes=[
+            NodeArrival(time=0.0, node=0),
+            NodeArrival(time=0.5, node=1),
+            NodeArrival(time=2.0, node=2, origin="fivq"),
+        ],
+        edges=[
+            EdgeArrival(time=1.0, u=0, v=1),
+            EdgeArrival(time=2.5, u=2, v=0),
+        ],
+    )
+
+
+class TestEventStreamBasics:
+    def test_counts(self):
+        s = make_stream()
+        assert s.num_nodes == 3
+        assert s.num_edges == 2
+
+    def test_end_time(self):
+        assert make_stream().end_time == 2.5
+
+    def test_end_time_empty(self):
+        assert EventStream().end_time == 0.0
+
+    def test_node_arrival_times(self):
+        assert make_stream().node_arrival_times() == {0: 0.0, 1: 0.5, 2: 2.0}
+
+    def test_node_origins(self):
+        origins = make_stream().node_origins()
+        assert origins[2] == "fivq"
+        assert origins[0] == "xiaonei"
+
+    def test_endpoints_ordered(self):
+        assert EdgeArrival(time=0.0, u=5, v=2).endpoints() == (2, 5)
+
+
+class TestMerged:
+    def test_chronological_order(self):
+        times = [ev.time for ev in make_stream().merged()]
+        assert times == sorted(times)
+
+    def test_node_before_edge_on_tie(self):
+        s = EventStream(
+            nodes=[NodeArrival(time=0.0, node=0), NodeArrival(time=1.0, node=1)],
+            edges=[EdgeArrival(time=1.0, u=0, v=1)],
+        )
+        events = list(s.merged())
+        assert isinstance(events[1], NodeArrival)
+        assert isinstance(events[2], EdgeArrival)
+
+    def test_total_count(self):
+        assert len(list(make_stream().merged())) == 5
+
+
+class TestSliceAndFilter:
+    def test_edges_before(self):
+        s = make_stream()
+        assert len(s.edges_before(1.0)) == 1
+        assert len(s.edges_before(0.5)) == 0
+        assert len(s.edges_before(10.0)) == 2
+
+    def test_slice(self):
+        sub = make_stream().slice(0.5, 2.0)
+        assert [ev.node for ev in sub.nodes] == [1, 2]
+        assert len(sub.edges) == 1
+
+    def test_extend_restores_order(self):
+        s = make_stream()
+        s.extend([NodeArrival(time=0.25, node=9)], [])
+        assert [ev.node for ev in s.nodes] == [0, 9, 1, 2]
+
+
+class TestValidate:
+    def test_valid_stream_passes(self):
+        make_stream().validate()
+
+    def test_unsorted_nodes(self):
+        s = EventStream(nodes=[NodeArrival(1.0, 0), NodeArrival(0.0, 1)])
+        with pytest.raises(ValueError, match="not sorted"):
+            s.validate()
+
+    def test_duplicate_node(self):
+        s = EventStream(nodes=[NodeArrival(0.0, 0), NodeArrival(1.0, 0)])
+        with pytest.raises(ValueError, match="duplicate node"):
+            s.validate()
+
+    def test_self_loop(self):
+        s = EventStream(nodes=[NodeArrival(0.0, 0)], edges=[EdgeArrival(1.0, 0, 0)])
+        with pytest.raises(ValueError, match="self-loop"):
+            s.validate()
+
+    def test_duplicate_edge(self):
+        s = EventStream(
+            nodes=[NodeArrival(0.0, 0), NodeArrival(0.0, 1)],
+            edges=[EdgeArrival(1.0, 0, 1), EdgeArrival(2.0, 1, 0)],
+        )
+        with pytest.raises(ValueError, match="duplicate edge"):
+            s.validate()
+
+    def test_unknown_endpoint(self):
+        s = EventStream(nodes=[NodeArrival(0.0, 0)], edges=[EdgeArrival(1.0, 0, 7)])
+        with pytest.raises(ValueError, match="unknown node"):
+            s.validate()
+
+    def test_edge_predates_node(self):
+        s = EventStream(
+            nodes=[NodeArrival(0.0, 0), NodeArrival(5.0, 1)],
+            edges=[EdgeArrival(1.0, 0, 1)],
+        )
+        with pytest.raises(ValueError, match="predates"):
+            s.validate()

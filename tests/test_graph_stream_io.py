@@ -1,0 +1,55 @@
+"""Tests for repro.graph.stream_io."""
+
+import pytest
+
+from repro.graph.events import EdgeArrival, EventStream, NodeArrival
+from repro.graph.stream_io import read_event_stream, write_event_stream
+
+
+def test_roundtrip(tmp_path, tiny_stream):
+    path = tmp_path / "trace.tsv"
+    write_event_stream(tiny_stream, path)
+    loaded = read_event_stream(path)
+    assert loaded.nodes == tiny_stream.nodes
+    assert loaded.edges == tiny_stream.edges
+
+
+def test_roundtrip_preserves_origin(tmp_path):
+    stream = EventStream(
+        nodes=[NodeArrival(0.0, 0, origin="fivq"), NodeArrival(0.5, 1)],
+        edges=[EdgeArrival(1.0, 0, 1)],
+    )
+    path = tmp_path / "t.tsv"
+    write_event_stream(stream, path)
+    assert read_event_stream(path).nodes[0].origin == "fivq"
+
+
+def test_comments_and_blank_lines_ignored(tmp_path):
+    path = tmp_path / "t.tsv"
+    path.write_text("# header\n\nN\t0.0\t0\txiaonei\n# trailing comment\n")
+    loaded = read_event_stream(path)
+    assert loaded.num_nodes == 1
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("X\t0.0\t1\n")
+    with pytest.raises(ValueError, match="malformed"):
+        read_event_stream(path)
+
+
+def test_malformed_number_raises(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("N\tzero\t0\txiaonei\n")
+    with pytest.raises(ValueError, match="malformed"):
+        read_event_stream(path)
+
+
+def test_validation_catches_invalid_stream(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("N\t0.0\t0\txiaonei\nE\t1.0\t0\t7\n")
+    with pytest.raises(ValueError, match="unknown node"):
+        read_event_stream(path)
+    # But reading without validation succeeds.
+    loaded = read_event_stream(path, validate=False)
+    assert loaded.num_edges == 1

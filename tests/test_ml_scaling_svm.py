@@ -1,0 +1,110 @@
+"""Tests for repro.ml.scaling and repro.ml.svm."""
+
+import numpy as np
+import pytest
+
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.util.rng import make_rng
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        X = make_rng(0).normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_no_nan(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+    def test_train_statistics_applied_to_test(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert scaler.transform(np.array([[4.0]]))[0, 0] == pytest.approx(3.0)
+
+
+def separable_data(n=400, seed=0):
+    rng = make_rng(seed)
+    X_pos = rng.normal(2.0, 1.0, size=(n // 2, 3))
+    X_neg = rng.normal(-2.0, 1.0, size=(n // 2, 3))
+    X = np.vstack([X_pos, X_neg])
+    y = np.array([1] * (n // 2) + [-1] * (n // 2))
+    return X, y
+
+
+class TestLinearSVM:
+    def test_separable_accuracy(self):
+        X, y = separable_data()
+        model = LinearSVM(seed=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_boolean_labels(self):
+        X, y = separable_data()
+        model = LinearSVM(seed=0).fit(X, y > 0)
+        assert set(model.predict(X)) <= {-1, 1}
+
+    def test_deterministic(self):
+        X, y = separable_data()
+        a = LinearSVM(seed=3).fit(X, y)
+        b = LinearSVM(seed=3).fit(X, y)
+        assert np.allclose(a.weights_, b.weights_)
+        assert a.bias_ == b.bias_
+
+    def test_single_class_rejected(self):
+        X = np.ones((10, 2))
+        with pytest.raises(ValueError):
+            LinearSVM().fit(X, np.ones(10))
+
+    def test_bad_labels_rejected(self):
+        X = np.ones((4, 2))
+        with pytest.raises(ValueError):
+            LinearSVM().fit(X, np.array([0, 1, 2, 1]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.ones((1, 2)))
+
+    def test_class_weighting_helps_minority(self):
+        rng = make_rng(1)
+        # 5% positives, overlapping classes.
+        X_pos = rng.normal(0.7, 1.0, size=(25, 2))
+        X_neg = rng.normal(-0.7, 1.0, size=(475, 2))
+        X = np.vstack([X_pos, X_neg])
+        y = np.array([1] * 25 + [-1] * 475)
+        balanced = LinearSVM(class_weight="balanced", seed=0).fit(X, y)
+        unweighted = LinearSVM(class_weight=None, seed=0).fit(X, y)
+        recall_b = (balanced.predict(X_pos) == 1).mean()
+        recall_u = (unweighted.predict(X_pos) == 1).mean()
+        assert recall_b >= recall_u
+
+    def test_dict_class_weight(self):
+        X, y = separable_data()
+        model = LinearSVM(class_weight={1: 2.0, -1: 1.0}, seed=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_invalid_class_weight(self):
+        X, y = separable_data(n=20)
+        with pytest.raises(ValueError):
+            LinearSVM(class_weight="bogus").fit(X, y)
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(lambda_reg=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.ones((4, 2)), np.array([1, -1]))

@@ -1,0 +1,55 @@
+"""Tests for repro.osnmerge.distance."""
+
+import numpy as np
+import pytest
+
+from repro.osnmerge.distance import cross_network_distance
+
+
+@pytest.fixture(scope="module")
+def distances(merge_stream, merge_day):
+    return cross_network_distance(
+        merge_stream, merge_day, sample_size=60, interval=6.0, seed=0
+    )
+
+
+class TestCrossDistance:
+    def test_series_aligned(self, distances):
+        n = distances.days_after_merge.size
+        assert distances.xiaonei_to_5q.size == n
+        assert distances.fivq_to_xiaonei.size == n
+        assert distances.unreachable_fraction.size == n
+
+    def test_days_positive_and_increasing(self, distances):
+        assert distances.days_after_merge[0] > 0
+        assert np.all(np.diff(distances.days_after_merge) > 0)
+
+    def test_distances_at_least_one(self, distances):
+        for series in (distances.xiaonei_to_5q, distances.fivq_to_xiaonei):
+            valid = np.isfinite(series)
+            assert np.all(series[valid] >= 1.0)
+
+    def test_distance_declines(self, distances):
+        """Fig 9(c): the two OSNs rapidly approach each other."""
+        series = distances.xiaonei_to_5q
+        valid = np.isfinite(series)
+        assert series[valid][-1] <= series[valid][0]
+
+    def test_asymptote_below_two(self, distances):
+        """Paper: average path lengths drop below 2 hops within ~47 days."""
+        series = np.nanmean(
+            np.vstack([distances.xiaonei_to_5q, distances.fivq_to_xiaonei]), axis=0
+        )
+        assert np.nanmin(series) < 2.5
+
+    def test_deterministic(self, merge_stream, merge_day, distances):
+        again = cross_network_distance(
+            merge_stream, merge_day, sample_size=60, interval=6.0, seed=0
+        )
+        assert np.allclose(
+            distances.xiaonei_to_5q, again.xiaonei_to_5q, equal_nan=True
+        )
+
+    def test_missing_population_raises(self, tiny_stream):
+        with pytest.raises(ValueError):
+            cross_network_distance(tiny_stream, 10.0, sample_size=5)

@@ -1,0 +1,83 @@
+"""Tests for repro.osnmerge.edge_rates."""
+
+import numpy as np
+import pytest
+
+from repro.graph.events import ORIGIN_5Q, ORIGIN_XIAONEI
+from repro.osnmerge.edge_rates import (
+    edges_per_day_by_type,
+    internal_external_ratio,
+    new_external_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def rates(merge_stream, merge_day):
+    return edges_per_day_by_type(merge_stream, merge_day)
+
+
+class TestEdgeRates:
+    def test_shapes_consistent(self, rates):
+        n = rates.days.size
+        assert rates.external.size == n
+        assert rates.internal_total.size == n
+        for series in rates.internal.values():
+            assert series.size == n
+
+    def test_totals_add_up(self, rates):
+        lhs = rates.internal_total
+        rhs = rates.internal[ORIGIN_XIAONEI] + rates.internal[ORIGIN_5Q]
+        assert np.array_equal(lhs, rhs)
+
+    def test_counts_nonnegative(self, rates):
+        assert rates.external.min() >= 0
+        assert rates.new_total.min() >= 0
+
+    def test_new_edges_grow_dominant(self, rates):
+        """Fig 8(c): edges to new users dominate the late post-merge period."""
+        late = slice(rates.days.size // 2, None)
+        assert rates.new_total[late].sum() > rates.internal_total[late].sum()
+
+    def test_bad_merge_day(self, merge_stream):
+        with pytest.raises(ValueError):
+            edges_per_day_by_type(merge_stream, merge_stream.end_time + 100)
+
+
+class TestRatios:
+    def test_keys(self, rates):
+        ie = internal_external_ratio(rates)
+        assert set(ie) == {ORIGIN_XIAONEI, ORIGIN_5Q, "both"}
+
+    def test_both_geq_parts(self, rates):
+        ie = internal_external_ratio(rates)
+        both = ie["both"]
+        for key in (ORIGIN_XIAONEI, ORIGIN_5Q):
+            valid = np.isfinite(both) & np.isfinite(ie[key])
+            assert np.all(both[valid] >= ie[key][valid] - 1e-9)
+
+    def test_xiaonei_more_internal_than_5q(self, rates):
+        """Fig 9(a): Xiaonei's internal/external ratio exceeds 5Q's."""
+        ie = internal_external_ratio(rates)
+        xi = np.nanmean(ie[ORIGIN_XIAONEI][1:])
+        fq = np.nanmean(ie[ORIGIN_5Q][1:])
+        assert xi > fq
+
+    def test_new_ratio_rises(self, rates):
+        """Fig 9(b): the new/external ratio tips upward over time."""
+        ne = new_external_ratio(rates)
+        series = ne["both"]
+        valid = np.isfinite(series)
+        half = valid.sum() // 2
+        early = np.nanmean(series[valid][:half])
+        late = np.nanmean(series[valid][half:])
+        assert late > early
+
+    def test_zero_denominator_nan(self, rates):
+        ie = internal_external_ratio(rates, window=1)
+        zero_days = rates.external == 0
+        if zero_days.any():
+            assert np.isnan(ie["both"][zero_days]).all()
+
+    def test_bad_window(self, rates):
+        with pytest.raises(ValueError):
+            internal_external_ratio(rates, window=0)

@@ -1,0 +1,51 @@
+"""Tests for repro.osnmerge.summary."""
+
+import numpy as np
+import pytest
+
+from repro.osnmerge.summary import summarize_merge
+
+
+@pytest.fixture(scope="module")
+def report(merge_stream, merge_day):
+    return summarize_merge(merge_stream, merge_day, distance_sample=60, seed=0)
+
+
+class TestMergeReport:
+    def test_populations_positive(self, report):
+        assert report.xiaonei_users > 0
+        assert report.fivq_users > 0
+
+    def test_duplicate_ordering(self, report):
+        """5Q loses more duplicates than Xiaonei, as in the paper."""
+        assert report.fivq_duplicate_estimate > report.xiaonei_duplicate_estimate
+
+    def test_edge_totals_consistent(self, report, merge_stream, merge_day):
+        from repro.osnmerge.classify import classify_edges
+
+        classified = classify_edges(merge_stream, after=merge_day)
+        total = (
+            report.total_internal_edges
+            + report.total_external_edges
+            + report.total_new_edges
+        )
+        # Every organic post-merge edge lands in exactly one class; the
+        # report's horizon clips at integer days, so allow a small slack.
+        assert abs(total - len(classified)) <= 5
+
+    def test_ratio_ordering(self, report):
+        assert report.mean_int_ext_ratio_xiaonei > report.mean_int_ext_ratio_fivq
+
+    def test_distance_reasonable(self, report):
+        assert 1.0 <= report.final_cross_distance < 4.0
+
+    def test_lines_render(self, report):
+        lines = report.lines()
+        assert len(lines) == 6
+        assert any("duplicates" in line for line in lines)
+
+    def test_explicit_threshold_respected(self, merge_stream, merge_day):
+        report = summarize_merge(
+            merge_stream, merge_day, threshold=8.0, distance_sample=40, seed=0
+        )
+        assert report.threshold_days == 8.0

@@ -1,0 +1,77 @@
+"""Tests for repro.pa.alpha."""
+
+import numpy as np
+import pytest
+
+from repro.pa.alpha import AlphaSeries, alpha_series, fit_alpha
+from repro.pa.edge_probability import DestinationRule
+
+
+class TestFitAlpha:
+    def test_exact_power_law(self):
+        d = np.arange(1, 50, dtype=float)
+        pe = 1e-4 * d**0.8
+        alpha, c, mse = fit_alpha(d, pe)
+        assert alpha == pytest.approx(0.8, abs=1e-9)
+        assert c == pytest.approx(1e-4, rel=1e-6)
+        assert mse == pytest.approx(0.0, abs=1e-18)
+
+
+class TestAlphaSeries:
+    def test_series_lengths(self, tiny_stream):
+        series = alpha_series(tiny_stream, checkpoint_every=800)
+        n = tiny_stream.num_edges // 800
+        assert series.edge_counts.size == n
+        assert series.alphas.size == n
+        assert series.times.size == n
+
+    def test_times_monotone(self, tiny_stream):
+        series = alpha_series(tiny_stream, checkpoint_every=800)
+        assert np.all(np.diff(series.times) >= 0)
+
+    def test_rule_gap_positive(self, tiny_stream):
+        hi = alpha_series(tiny_stream, DestinationRule.HIGHER_DEGREE, checkpoint_every=800)
+        rd = alpha_series(tiny_stream, DestinationRule.RANDOM, checkpoint_every=800)
+        assert np.nanmean(hi.alphas - rd.alphas) > 0.05
+
+    def test_alpha_decays_on_generated_trace(self, tiny_stream):
+        """Fig 3(c)'s direction: PA strength weakens as the network grows."""
+        series = alpha_series(tiny_stream, checkpoint_every=600)
+        peak = np.nanmax(series.alphas)
+        assert peak - series.alphas[-1] > 0.05
+
+    def test_total_decay(self):
+        series = AlphaSeries(
+            rule=DestinationRule.RANDOM,
+            edge_counts=np.array([1, 2, 3]),
+            times=np.array([1.0, 2.0, 3.0]),
+            alphas=np.array([1.2, np.nan, 0.7]),
+            mses=np.zeros(3),
+        )
+        assert series.total_decay() == pytest.approx(0.5)
+
+    def test_total_decay_insufficient(self):
+        series = AlphaSeries(
+            rule=DestinationRule.RANDOM,
+            edge_counts=np.array([1]),
+            times=np.array([1.0]),
+            alphas=np.array([1.0]),
+            mses=np.zeros(1),
+        )
+        assert np.isnan(series.total_decay())
+
+    def test_polynomial_fit(self, tiny_stream):
+        series = alpha_series(tiny_stream, checkpoint_every=500)
+        coeffs = series.polynomial_fit(degree=3)
+        assert coeffs.size == 4
+
+    def test_polynomial_fit_insufficient(self):
+        series = AlphaSeries(
+            rule=DestinationRule.RANDOM,
+            edge_counts=np.array([1, 2]),
+            times=np.array([1.0, 2.0]),
+            alphas=np.array([1.0, 0.9]),
+            mses=np.zeros(2),
+        )
+        with pytest.raises(ValueError):
+            series.polynomial_fit(degree=5)

@@ -1,0 +1,46 @@
+"""Tests for repro.pa.mixture."""
+
+import numpy as np
+import pytest
+
+from repro.gen.baselines import barabasi_albert_stream, uniform_attachment_stream
+from repro.pa.edge_probability import DestinationRule
+from repro.pa.mixture import mixture_series
+
+
+class TestMixtureEstimator:
+    def test_pure_pa_reads_high(self):
+        stream = barabasi_albert_stream(3000, m=4, seed=1)
+        series = mixture_series(
+            stream, rule=DestinationRule.HIGHER_DEGREE, checkpoint_every=3000
+        )
+        assert np.nanmean(series.weights[1:]) > 0.8
+
+    def test_pure_random_reads_low(self):
+        stream = uniform_attachment_stream(3000, m=4, seed=1)
+        series = mixture_series(stream, rule=DestinationRule.RANDOM, checkpoint_every=3000)
+        assert np.nanmean(series.weights) < 0.2
+
+    def test_weights_bounded(self, tiny_stream):
+        series = mixture_series(tiny_stream, checkpoint_every=800)
+        finite = series.weights[np.isfinite(series.weights)]
+        assert np.all((0.0 <= finite) & (finite <= 1.0))
+
+    def test_generated_trace_decays(self, tiny_stream):
+        """The paper's §3.3 hypothesis: the PA share shifts toward random."""
+        series = mixture_series(tiny_stream, checkpoint_every=600)
+        finite = series.weights[np.isfinite(series.weights)]
+        if finite.size >= 4:
+            early = finite[: finite.size // 2].mean()
+            late = finite[finite.size // 2 :].mean()
+            assert late <= early + 0.05
+
+    def test_edge_counts_align(self, tiny_stream):
+        series = mixture_series(tiny_stream, checkpoint_every=800)
+        assert series.edge_counts.size == series.weights.size
+        assert np.all(np.diff(series.edge_counts) > 0)
+
+    def test_total_decay_nan_when_underdetermined(self):
+        stream = barabasi_albert_stream(50, m=2, seed=0)
+        series = mixture_series(stream, checkpoint_every=10_000)
+        assert np.isnan(series.total_decay())

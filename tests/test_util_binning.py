@@ -1,0 +1,92 @@
+"""Tests for repro.util.binning."""
+
+import numpy as np
+import pytest
+
+from repro.util.binning import (
+    cdf_points,
+    empirical_cdf,
+    histogram_counts,
+    log_binned_pdf,
+    log_bins,
+)
+
+
+class TestHistogramCounts:
+    def test_basic(self):
+        assert histogram_counts([3, 1, 3, 2, 3]) == {1: 1, 2: 1, 3: 3}
+
+    def test_empty(self):
+        assert histogram_counts([]) == {}
+
+    def test_sorted_keys(self):
+        keys = list(histogram_counts([5, 1, 9, 1]).keys())
+        assert keys == sorted(keys)
+
+
+class TestLogBins:
+    def test_covers_range(self):
+        edges = log_bins(1.0, 1000.0, bins_per_decade=4)
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[-1] == pytest.approx(1000.0)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_rejects_nonpositive_min(self):
+        with pytest.raises(ValueError):
+            log_bins(0.0, 10.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            log_bins(10.0, 1.0)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            log_bins(1.0, 10.0, bins_per_decade=0)
+
+
+class TestLogBinnedPdf:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        samples = rng.pareto(2.0, size=20000) + 1.0
+        centers, density = log_binned_pdf(samples, bins_per_decade=6)
+        edges = log_bins(samples.min(), samples.max() * (1 + 1e-12), 6)
+        # Integral over non-empty bins should be close to 1.
+        total = 0.0
+        idx = 0
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            center = np.sqrt(lo * hi)
+            if idx < centers.size and np.isclose(center, centers[idx]):
+                total += density[idx] * (hi - lo)
+                idx += 1
+        assert total == pytest.approx(1.0, abs=0.02)
+
+    def test_drops_nonpositive(self):
+        centers, density = log_binned_pdf([-1.0, 0.0, 1.0, 2.0, 4.0])
+        assert np.all(centers > 0)
+
+    def test_empty(self):
+        centers, density = log_binned_pdf([])
+        assert centers.size == 0 and density.size == 0
+
+    def test_single_value(self):
+        centers, density = log_binned_pdf([3.0, 3.0])
+        assert centers.tolist() == [3.0]
+        assert density.tolist() == [1.0]
+
+
+class TestCdf:
+    def test_empirical_cdf_monotone(self):
+        xs, ys = empirical_cdf([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert ys.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty(self):
+        xs, ys = empirical_cdf([])
+        assert xs.size == 0
+
+    def test_cdf_points(self):
+        values = cdf_points([1, 2, 3, 4], at=[0, 2, 2.5, 10])
+        assert values.tolist() == [0.0, 0.5, 0.5, 1.0]
+
+    def test_cdf_points_empty_samples(self):
+        assert cdf_points([], at=[1.0]).tolist() == [0.0]

@@ -1,0 +1,59 @@
+"""Tests for repro.util.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.util.bootstrap import bootstrap_ci, bootstrap_median_ci
+from repro.util.rng import make_rng
+
+
+class TestBootstrapCi:
+    def test_interval_contains_estimate(self):
+        data = make_rng(0).normal(5.0, 1.0, size=300)
+        result = bootstrap_ci(data, seed=1)
+        assert result.low <= result.estimate <= result.high
+
+    def test_covers_true_mean(self):
+        data = make_rng(1).normal(10.0, 2.0, size=500)
+        result = bootstrap_ci(data, confidence=0.99, seed=2)
+        assert 10.0 in result
+
+    def test_narrows_with_sample_size(self):
+        rng = make_rng(3)
+        small = bootstrap_ci(rng.normal(0, 1, 30), seed=0)
+        large = bootstrap_ci(rng.normal(0, 1, 3000), seed=0)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic(self):
+        data = make_rng(4).random(100)
+        a = bootstrap_ci(data, seed=5)
+        b = bootstrap_ci(data, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_rejects_too_few_resamples(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_resamples=3)
+
+    def test_str_format(self):
+        result = bootstrap_ci([1.0, 2.0, 3.0], seed=0)
+        assert "95% CI" in str(result)
+
+
+class TestMedianCi:
+    def test_median_statistic(self):
+        data = np.concatenate([np.zeros(50), np.ones(51)])
+        result = bootstrap_median_ci(data, seed=0)
+        assert result.estimate == 1.0
+
+    def test_robust_to_outliers(self):
+        data = np.concatenate([np.full(99, 1.0), [1e9]])
+        result = bootstrap_median_ci(data, seed=0)
+        assert result.high < 2.0

@@ -1,0 +1,40 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough_generator():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    children_a = spawn_rngs(make_rng(7), 3)
+    children_b = spawn_rngs(make_rng(7), 3)
+    assert len(children_a) == 3
+    for ca, cb in zip(children_a, children_b):
+        assert np.array_equal(ca.random(4), cb.random(4))
+    draws = [tuple(c.random(4)) for c in spawn_rngs(make_rng(7), 3)]
+    assert len(set(draws)) == 3  # children differ from each other
+
+
+def test_spawn_rngs_zero():
+    assert spawn_rngs(make_rng(0), 0) == []
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(make_rng(0), -1)

@@ -1,0 +1,91 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    fit_polynomial,
+    linear_fit_loglog,
+    mean_squared_error,
+    pearson_correlation,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_nan(self):
+        assert math.isnan(pearson_correlation([1, 1, 1], [1, 2, 3]))
+
+    def test_too_short_nan(self):
+        assert math.isnan(pearson_correlation([1], [2]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        x = rng.random(50)
+        y = 0.3 * x + rng.random(50)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert pearson_correlation(x, y) == pytest.approx(expected)
+
+
+class TestMse:
+    def test_zero_for_identical(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_empty_nan(self):
+        assert math.isnan(mean_squared_error([], []))
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+
+class TestLogLogFit:
+    def test_recovers_power_law(self):
+        x = np.linspace(1, 100, 50)
+        y = 3.5 * x**1.7
+        alpha, c = linear_fit_loglog(x, y)
+        assert alpha == pytest.approx(1.7, abs=1e-9)
+        assert c == pytest.approx(3.5, rel=1e-9)
+
+    def test_drops_nonpositive_points(self):
+        x = [0.0, 1.0, 2.0, 4.0, -3.0]
+        y = [5.0, 2.0, 4.0, 8.0, 1.0]
+        alpha, c = linear_fit_loglog(x, y)
+        assert alpha == pytest.approx(1.0, abs=1e-9)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit_loglog([1.0], [2.0])
+
+    def test_weighted(self):
+        x = np.array([1.0, 10.0, 100.0])
+        y = np.array([1.0, 10.0, 1e6])  # last point is an outlier
+        alpha_unweighted, _ = linear_fit_loglog(x, y)
+        alpha_weighted, _ = linear_fit_loglog(x, y, weights=[1.0, 1.0, 1e-9])
+        assert abs(alpha_weighted - 1.0) < abs(alpha_unweighted - 1.0)
+
+
+class TestFitPolynomial:
+    def test_exact_quadratic(self):
+        x = np.arange(10, dtype=float)
+        y = 2 * x**2 - 3 * x + 1
+        coeffs = fit_polynomial(x, y, 2)
+        assert coeffs == pytest.approx([2.0, -3.0, 1.0], abs=1e-8)
+
+    def test_underdetermined(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1.0, 2.0], [1.0, 2.0], degree=2)
