@@ -44,7 +44,9 @@ def _signatures(stream):
 def test_baseline_signature_comparison(benchmark):
     def run():
         return {
-            "renren_like": _signatures(generate_trace(presets.tiny(days=50, target_nodes=1200), seed=3)),
+            "renren_like": _signatures(
+                generate_trace(presets.tiny(days=50, target_nodes=1200), seed=3)
+            ),
             "barabasi_albert": _signatures(barabasi_albert_stream(_N, m=4, seed=3)),
             "uniform": _signatures(uniform_attachment_stream(_N, m=4, seed=3)),
             "forest_fire": _signatures(forest_fire_stream(_N, forward_probability=0.35, seed=3)),

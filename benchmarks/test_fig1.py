@@ -1,6 +1,5 @@
 """Benchmarks regenerating Figure 1: network growth and graph metrics."""
 
-import numpy as np
 
 def test_fig1a_absolute_growth(run_and_report, ctx):
     result = run_and_report("F1a", ctx)
@@ -11,7 +10,8 @@ def test_fig1a_absolute_growth(run_and_report, ctx):
 def test_fig1b_relative_growth(run_and_report, ctx):
     result = run_and_report("F1b", ctx)
     # Relative growth stabilizes: late fluctuation below early fluctuation.
-    assert result.findings["late_relative_growth_std"] < result.findings["early_relative_growth_std"]
+    findings = result.findings
+    assert findings["late_relative_growth_std"] < findings["early_relative_growth_std"]
 
 
 def test_fig1c_average_degree(run_and_report, ctx):

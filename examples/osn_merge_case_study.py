@@ -65,14 +65,19 @@ def main() -> None:
     print(f"  internal/external ratio: Xiaonei={np.nanmean(ie[ORIGIN_XIAONEI][1:]):.2f}, "
           f"5Q={np.nanmean(ie[ORIGIN_5Q][1:]):.2f}, both={np.nanmean(ie['both'][1:]):.2f} "
           f"(paper: Xiaonei >1, 5Q <1 after day 16)")
-    tip_xi = np.nanmin(np.nonzero(np.nan_to_num(ne[ORIGIN_XIAONEI], nan=-1) >= 1)[0]) if np.any(np.nan_to_num(ne[ORIGIN_XIAONEI], nan=-1) >= 1) else None
-    tip_fq = np.nanmin(np.nonzero(np.nan_to_num(ne[ORIGIN_5Q], nan=-1) >= 1)[0]) if np.any(np.nan_to_num(ne[ORIGIN_5Q], nan=-1) >= 1) else None
+    xi_hits = np.nan_to_num(ne[ORIGIN_XIAONEI], nan=-1) >= 1
+    fq_hits = np.nan_to_num(ne[ORIGIN_5Q], nan=-1) >= 1
+    tip_xi = np.nanmin(np.nonzero(xi_hits)[0]) if np.any(xi_hits) else None
+    tip_fq = np.nanmin(np.nonzero(fq_hits)[0]) if np.any(fq_hits) else None
     print(f"  new/external tips >= 1: Xiaonei day {tip_xi}, 5Q day {tip_fq} "
           f"(paper: day 5 vs day 32)")
 
     print("\nCross-network distance (new users excluded, paper Fig 9c):")
-    distances = cross_network_distance(stream, merge_day, sample_size=200, interval=4.0, seed=args.seed)
-    for i in range(0, distances.days_after_merge.size, max(1, distances.days_after_merge.size // 8)):
+    distances = cross_network_distance(
+        stream, merge_day, sample_size=200, interval=4.0, seed=args.seed
+    )
+    stride = max(1, distances.days_after_merge.size // 8)
+    for i in range(0, distances.days_after_merge.size, stride):
         d = distances.days_after_merge[i]
         print(f"  day {d:5.1f}: Xiaonei->5Q = {distances.xiaonei_to_5q[i]:.2f} hops, "
               f"5Q->Xiaonei = {distances.fivq_to_xiaonei[i]:.2f} hops")

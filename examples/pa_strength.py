@@ -40,7 +40,9 @@ def main() -> None:
 
     print("\nalpha(t) over network growth (paper Fig 3c):")
     print(f"  {'edges':>9s}  {'alpha(higher)':>13s}  {'alpha(random)':>13s}  {'gap':>6s}")
-    hi = alpha_series(stream, DestinationRule.HIGHER_DEGREE, checkpoint_every=checkpoint, seed=args.seed)
+    hi = alpha_series(
+        stream, DestinationRule.HIGHER_DEGREE, checkpoint_every=checkpoint, seed=args.seed
+    )
     rd = alpha_series(stream, DestinationRule.RANDOM, checkpoint_every=checkpoint, seed=args.seed)
     for e, a_hi, a_rd in zip(hi.edge_counts, hi.alphas, rd.alphas):
         gap = a_hi - a_rd
@@ -48,7 +50,8 @@ def main() -> None:
 
     print(f"\n  peak alpha (higher-degree rule)  = {np.nanmax(hi.alphas):.3f}   (paper: ~1.25)")
     print(f"  final alpha (higher-degree rule) = {hi.alphas[-1]:.3f}   (paper: ~0.65)")
-    print(f"  mean rule gap                    = {np.nanmean(hi.alphas - rd.alphas):.3f}   (paper: ~0.2)")
+    mean_gap = np.nanmean(hi.alphas - rd.alphas)
+    print(f"  mean rule gap                    = {mean_gap:.3f}   (paper: ~0.2)")
     coeffs = hi.polynomial_fit(degree=5)
     pretty = " + ".join(f"{c:.3g}·x^{5 - i}" for i, c in enumerate(coeffs[:-1]))
     print(f"  poly5 fit: alpha(x) ≈ {pretty} + {coeffs[-1]:.3g}  (x = normalized edge count)")

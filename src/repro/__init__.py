@@ -12,6 +12,8 @@ The library has three layers:
   (Figures 4-7), and :mod:`repro.osnmerge` (Figures 8-9).
 * **Experiments** — :mod:`repro.analysis` maps every paper figure panel to
   a driver producing paper-comparable numbers.
+* **Runtime** — :mod:`repro.runtime` executes the metrics pipeline with
+  checkpointed parallel replay and a content-addressed result cache.
 
 Quickstart::
 
@@ -25,10 +27,13 @@ Quickstart::
 from repro.analysis import AnalysisContext, list_experiments, run_experiment
 from repro.gen import GeneratorConfig, MergeConfig, RenrenGenerator, generate_trace, presets
 from repro.graph import DynamicGraph, EdgeArrival, EventStream, GraphSnapshot, NodeArrival
+from repro.runtime import MetricSpec, compute_timeseries
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "MetricSpec",
+    "compute_timeseries",
     "AnalysisContext",
     "list_experiments",
     "run_experiment",

@@ -7,15 +7,18 @@ event stream, the community-tracking run, the post-merge edge rates.  An
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.community.tracking import CommunityTracker, track_stream
 from repro.gen.config import GeneratorConfig
 from repro.gen.renren import generate_trace
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.events import EventStream
 from repro.graph.snapshot import GraphSnapshot
-from repro.metrics.timeseries import MetricTimeseries, compute_metric_timeseries, standard_metrics
+from repro.metrics.timeseries import MetricTimeseries, compute_metric_timeseries
 from repro.osnmerge.activity import activity_threshold
 from repro.osnmerge.edge_rates import EdgeRateSeries, edges_per_day_by_type
+from repro.runtime.spec import MetricSpec
 
 __all__ = ["AnalysisContext"]
 
@@ -25,6 +28,11 @@ class AnalysisContext:
 
     ``tracking_interval`` controls the community-snapshot cadence (the
     paper uses 3 days; compressed traces can afford the same).
+
+    ``workers`` and ``cache_dir`` flow to the runtime layer: the metric
+    timeseries every Figure-1 panel reads is evaluated in a process pool
+    when ``workers > 1`` and persisted/reused across processes when
+    ``cache_dir`` names a directory.  Results are identical either way.
     """
 
     def __init__(
@@ -33,11 +41,15 @@ class AnalysisContext:
         seed: int = 0,
         tracking_interval: float = 3.0,
         tracking_delta: float = 0.04,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
         self.tracking_interval = tracking_interval
         self.tracking_delta = tracking_delta
+        self.workers = workers
+        self.cache_dir = cache_dir
         self._stream: EventStream | None = None
         self._tracker: CommunityTracker | None = None
         self._final_graph: GraphSnapshot | None = None
@@ -91,10 +103,13 @@ class AnalysisContext:
         assortativity), sampled ~40 times over the trace (cached)."""
         if self._metrics is None:
             interval = max(2.0, self.config.days / 40.0)
+            spec = MetricSpec(path_sample=200, clustering_sample=800, seed=self.seed)
             self._metrics = compute_metric_timeseries(
                 self.stream,
-                standard_metrics(path_sample=200, clustering_sample=800, seed=self.seed),
+                spec,
                 interval=interval,
+                workers=self.workers,
+                cache_dir=self.cache_dir,
             )
         return self._metrics
 

@@ -79,7 +79,11 @@ def fig2b(ctx: AnalysisContext) -> ExperimentResult:
 def fig2c(ctx: AnalysisContext) -> ExperimentResult:
     """Share of daily edges driven by young nodes declines as the network matures."""
     scale = ctx.config.days / 771.0
-    thresholds = (max(1.0, round(1.0 * scale)), max(2.0, round(10 * scale)), max(4.0, round(30 * scale)))
+    thresholds = (
+        max(1.0, round(1.0 * scale)),
+        max(2.0, round(10 * scale)),
+        max(4.0, round(30 * scale)),
+    )
     days, fractions = minimal_age_fractions(ctx.stream, thresholds=thresholds)
     result = ExperimentResult(
         experiment="F2c",

@@ -48,10 +48,16 @@ def fig3ab(ctx: AnalysisContext) -> ExperimentResult:
 def fig3c(ctx: AnalysisContext) -> ExperimentResult:
     """α(t) decays as the network grows; the two rules differ by ~0.2."""
     interval = _checkpoint_interval(ctx)
-    hi = alpha_series(ctx.stream, DestinationRule.HIGHER_DEGREE, checkpoint_every=interval, seed=ctx.seed)
+    hi = alpha_series(
+        ctx.stream, DestinationRule.HIGHER_DEGREE, checkpoint_every=interval, seed=ctx.seed
+    )
     rd = alpha_series(ctx.stream, DestinationRule.RANDOM, checkpoint_every=interval, seed=ctx.seed)
     finite_mask = np.isfinite(hi.alphas) & np.isfinite(rd.alphas)
-    gap = float(np.mean(hi.alphas[finite_mask] - rd.alphas[finite_mask])) if finite_mask.any() else float("nan")
+    gap = (
+        float(np.mean(hi.alphas[finite_mask] - rd.alphas[finite_mask]))
+        if finite_mask.any()
+        else float("nan")
+    )
     peak_hi = float(np.nanmax(hi.alphas))
     result = ExperimentResult(
         experiment="F3c",

@@ -12,7 +12,9 @@ from repro.osnmerge.activity import active_users_over_time, duplicate_account_es
 __all__ = []
 
 
-def _active_users_panel(ctx: AnalysisContext, origin: str, exp_id: str, name: str) -> ExperimentResult:
+def _active_users_panel(
+    ctx: AnalysisContext, origin: str, exp_id: str, name: str
+) -> ExperimentResult:
     series = active_users_over_time(
         ctx.stream, ctx.merge_day, origin, threshold=ctx.activity_threshold_days
     )

@@ -15,6 +15,7 @@ Installed as the ``repro`` console script.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections import Counter
 
@@ -45,7 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("trace", help="trace TSV path")
     metrics.add_argument("--interval", type=float, default=10.0, help="snapshot cadence (days)")
     metrics.add_argument("--path-sample", type=int, default=200)
+    metrics.add_argument("--clustering-sample", type=int, default=1500)
     metrics.add_argument("--seed", type=int, default=0)
+    _add_runtime_args(metrics)
 
     comm = sub.add_parser("communities", help="track communities over a trace")
     comm.add_argument("trace", help="trace TSV path")
@@ -57,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a registered paper experiment (or 'all')")
     exp.add_argument("experiment", help="experiment id, e.g. F3c, or 'all'")
     _add_preset_args(exp)
+    _add_runtime_args(exp)
 
     return parser
 
@@ -66,6 +70,34 @@ def _add_preset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--nodes", type=int, default=None, help="override target_nodes")
     parser.add_argument("--days", type=float, default=None, help="override trace length")
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for metric evaluation (1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result cache directory (default: $REPRO_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir/$REPRO_CACHE_DIR is set",
+    )
+
+
+def _resolve_cache_dir(args: argparse.Namespace):
+    """The effective cache directory: --no-cache wins, then --cache-dir, then env."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    if os.environ.get("REPRO_CACHE_DIR"):
+        from repro.runtime import default_cache_dir
+
+        return default_cache_dir()
+    return None
 
 
 def _resolve_config(args: argparse.Namespace):
@@ -109,11 +141,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.graph.stream_io import read_event_stream
-    from repro.metrics.timeseries import compute_metric_timeseries, standard_metrics
+    from repro.metrics.timeseries import compute_metric_timeseries
+    from repro.runtime import MetricSpec
 
     stream = read_event_stream(args.trace)
-    metrics = standard_metrics(path_sample=args.path_sample, seed=args.seed)
-    series = compute_metric_timeseries(stream, metrics, interval=args.interval)
+    spec = MetricSpec(
+        path_sample=args.path_sample,
+        clustering_sample=args.clustering_sample,
+        seed=args.seed,
+    )
+    series = compute_metric_timeseries(
+        stream,
+        spec,
+        interval=args.interval,
+        workers=args.workers,
+        cache_dir=_resolve_cache_dir(args),
+    )
     names = list(series.values)
     header = "day".rjust(8) + "".join(name.rjust(22) for name in names)
     print(header)
@@ -147,7 +190,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import AnalysisContext, list_experiments, run_experiment
 
     config = _resolve_config(args)
-    ctx = AnalysisContext(config, seed=args.seed)
+    ctx = AnalysisContext(
+        config, seed=args.seed, workers=args.workers, cache_dir=_resolve_cache_dir(args)
+    )
     targets = list_experiments() if args.experiment == "all" else [args.experiment]
     status = 0
     for experiment in targets:

@@ -14,20 +14,20 @@ Pipeline:
    merge-prediction classifier (Figure 6b).
 """
 
+from repro.community.export import read_tracking_json, tracker_to_dict, write_tracking_json
+from repro.community.louvain import LouvainResult, louvain
 from repro.community.modularity import modularity, partition_communities
-from repro.community.louvain import louvain, LouvainResult
+from repro.community.stats import (
+    community_lifetimes,
+    community_size_distribution,
+    top_k_coverage,
+)
 from repro.community.tracking import (
     CommunityEvent,
     CommunityLineage,
     CommunityTracker,
     TrackedSnapshot,
     jaccard,
-)
-from repro.community.export import read_tracking_json, tracker_to_dict, write_tracking_json
-from repro.community.stats import (
-    community_size_distribution,
-    community_lifetimes,
-    top_k_coverage,
 )
 
 __all__ = [

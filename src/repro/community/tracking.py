@@ -166,7 +166,9 @@ class CommunityTracker:
 
     def step(self, time: float, graph: GraphSnapshot) -> TrackedSnapshot:
         """Process the next snapshot and return its tracked view."""
-        result = louvain(graph, delta=self.delta, seed_partition=self._prev_partition, seed=self._rng)
+        result = louvain(
+            graph, delta=self.delta, seed_partition=self._prev_partition, seed=self._rng
+        )
         raw = {
             label: frozenset(members)
             for label, members in result.communities(self.min_size).items()

@@ -7,7 +7,7 @@ from repro.edges.interarrival import (
 )
 from repro.edges.lifetime import edge_creation_over_lifetime, node_lifetimes
 from repro.edges.node_age import minimal_age_fractions
-from repro.edges.powerlaw import PowerLawFit, fit_power_law_mle, fit_power_law_binned
+from repro.edges.powerlaw import PowerLawFit, fit_power_law_binned, fit_power_law_mle
 
 __all__ = [
     "collect_interarrivals_by_age",

@@ -17,13 +17,13 @@ the *mechanisms* the paper measures rather than fitting its exact numbers:
   duplicate accounts, and origin-biased post-merge edge creation — §5.
 """
 
-from repro.gen.config import GeneratorConfig, MergeConfig, SeasonalDip, presets
-from repro.gen.renren import RenrenGenerator, generate_trace
 from repro.gen.baselines import (
     barabasi_albert_stream,
     forest_fire_stream,
     uniform_attachment_stream,
 )
+from repro.gen.config import GeneratorConfig, MergeConfig, SeasonalDip, presets
+from repro.gen.renren import RenrenGenerator, generate_trace
 
 __all__ = [
     "GeneratorConfig",

@@ -8,7 +8,7 @@ only need a different config.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["SeasonalDip", "MergeConfig", "GeneratorConfig", "presets"]
 
@@ -172,7 +172,9 @@ class GeneratorConfig:
         return replace(self, merge=merge)
 
 
-def expected_premerge_nodes(target_nodes: int, growth_rate: float, merge_day: float, days: float) -> int:
+def expected_premerge_nodes(
+    target_nodes: int, growth_rate: float, merge_day: float, days: float
+) -> int:
     """Expected primary-network size at ``merge_day`` under the exponential envelope.
 
     Used by presets to size the secondary (5Q) network proportionally to the

@@ -41,7 +41,9 @@ _SECONDARY_COMMUNITY_BASE = 1_000_000
 class _Universe:
     """One evolving network: graph + attachment pools + activity schedule."""
 
-    def __init__(self, config: GeneratorConfig, rng: np.random.Generator, community_base: int) -> None:
+    def __init__(
+        self, config: GeneratorConfig, rng: np.random.Generator, community_base: int
+    ) -> None:
         self.config = config
         self.rng = rng
         self.graph = GraphSnapshot()
@@ -135,7 +137,9 @@ class RenrenGenerator:
                 self._execute_merge(primary, secondary)
                 merge_done = True
                 secondary = None
-            self._run_universe_day(primary, day, int(primary_arrivals[day]), self._primary_origin(day))
+            self._run_universe_day(
+                primary, day, int(primary_arrivals[day]), self._primary_origin(day)
+            )
             if secondary is not None and secondary_arrivals is not None:
                 sec_day = day - int(self.config.merge.secondary_start_day)
                 if 0 <= sec_day < len(secondary_arrivals):
@@ -369,7 +373,9 @@ class RenrenGenerator:
             for node in origin_nodes:
                 if node in self._inactive:
                     continue
-                window = float(self.rng.exponential(merge.survivor_mean_active_days * window_factor))
+                window = float(
+                    self.rng.exponential(merge.survivor_mean_active_days * window_factor)
+                )
                 # 1 + Poisson keeps survivors distinguishable from discarded
                 # duplicates in the day-0 activity measurement.
                 mean_extra = max(0.0, merge.burst_edges_mean * multiplier - 1.0)

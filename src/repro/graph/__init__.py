@@ -10,18 +10,23 @@ creations and edge creations — from which daily static snapshots are derived
 * :class:`~repro.graph.snapshot.GraphSnapshot` — a static undirected graph;
 * :class:`~repro.graph.dynamic.DynamicGraph` — replays a stream into
   snapshots at any cadence;
+* :class:`~repro.graph.checkpoint.ReplayCheckpoint` — compact mid-stream
+  replay state, so workers can resume without re-applying history;
 * :mod:`~repro.graph.components` — connected components, from scratch.
 """
 
-from repro.graph.events import EdgeArrival, EventStream, NodeArrival
-from repro.graph.snapshot import GraphSnapshot
-from repro.graph.dynamic import DynamicGraph, SnapshotView
+from repro.graph.checkpoint import CSRAdjacency, ReplayCheckpoint
 from repro.graph.components import connected_components, largest_component
-from repro.graph.stream_io import read_event_stream, write_event_stream
+from repro.graph.dynamic import DynamicGraph, SnapshotView
+from repro.graph.events import EdgeArrival, EventStream, NodeArrival
 from repro.graph.nullmodel import degree_preserving_rewire
+from repro.graph.snapshot import GraphSnapshot
+from repro.graph.stream_io import read_event_stream, write_event_stream
 from repro.graph.transform import relabel_nodes, rescale_time, subsample_nodes, truncate
 
 __all__ = [
+    "CSRAdjacency",
+    "ReplayCheckpoint",
     "degree_preserving_rewire",
     "relabel_nodes",
     "rescale_time",

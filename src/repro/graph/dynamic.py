@@ -10,8 +10,9 @@ lightweight :class:`SnapshotView` records.
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.graph.checkpoint import CSRAdjacency, ReplayCheckpoint
 from repro.graph.events import EventStream
 from repro.graph.snapshot import GraphSnapshot
 
@@ -24,15 +25,25 @@ class SnapshotView:
 
     ``graph`` is the replayer's **live** snapshot: it will keep mutating as
     the replay advances.  Callers that retain it across steps must call
-    ``graph.copy()``.  ``new_edges`` lists the (u, v) pairs added since the
-    previous view, which the incremental analyses (pe(d), community
-    tracking) consume.
+    :meth:`materialize` (or ``graph.copy()``).  ``new_edges`` lists the
+    (u, v) pairs added since the previous view, which the incremental
+    analyses (pe(d), community tracking) consume.
     """
 
     time: float
     graph: GraphSnapshot
     new_nodes: tuple[int, ...]
     new_edges: tuple[tuple[int, int], ...]
+
+    def materialize(self) -> "SnapshotView":
+        """A view whose graph is decoupled from the live replay.
+
+        The graph is round-tripped through a checkpoint encoding, so the
+        copy shares no mutable state with the replayer and is safe to
+        retain while the replay advances.
+        """
+        frozen = CSRAdjacency.from_snapshot(self.graph)
+        return replace(self, graph=frozen.to_snapshot())
 
 
 class DynamicGraph:
@@ -48,6 +59,34 @@ class DynamicGraph:
         self.graph = GraphSnapshot()
         self._node_idx = 0
         self._edge_idx = 0
+
+    @classmethod
+    def from_checkpoint(cls, stream: EventStream, checkpoint: ReplayCheckpoint) -> "DynamicGraph":
+        """Resume replay of ``stream`` from ``checkpoint``.
+
+        The checkpoint must have been taken from a replay of the same
+        stream; cursor indices out of range raise :class:`ValueError`.
+        """
+        if checkpoint.node_index > len(stream.nodes) or checkpoint.edge_index > len(stream.edges):
+            raise ValueError(
+                f"checkpoint cursor ({checkpoint.node_index}, {checkpoint.edge_index}) "
+                f"out of range for stream with {len(stream.nodes)} node / "
+                f"{len(stream.edges)} edge events"
+            )
+        replay = cls(stream)
+        replay.graph = checkpoint.restore_graph()
+        replay._node_idx = checkpoint.node_index
+        replay._edge_idx = checkpoint.edge_index
+        return replay
+
+    def checkpoint(self) -> ReplayCheckpoint:
+        """Freeze the current replay state into a compact checkpoint."""
+        return ReplayCheckpoint(
+            time=self.time_cursor,
+            node_index=self._node_idx,
+            edge_index=self._edge_idx,
+            csr=CSRAdjacency.from_snapshot(self.graph),
+        )
 
     @property
     def time_cursor(self) -> float:

@@ -30,6 +30,23 @@ class GraphSnapshot:
     # -- construction -------------------------------------------------
 
     @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: dict[int, set[int]],
+        num_edges: int,
+    ) -> "GraphSnapshot":
+        """Adopt a prebuilt adjacency dict (trusted, not validated).
+
+        The dict is taken by reference — callers hand over ownership.  Used
+        by checkpoint restore, where the structure was produced by encoding
+        a valid snapshot and re-validating would dominate restore cost.
+        """
+        snap = cls()
+        snap.adjacency = adjacency
+        snap._num_edges = num_edges
+        return snap
+
+    @classmethod
     def from_edges(
         cls,
         edges: Iterable[tuple[int, int]],

@@ -50,9 +50,13 @@ def read_event_stream(path: str | os.PathLike[str], validate: bool = True) -> Ev
             parts = line.split("\t")
             try:
                 if parts[0] == "N" and len(parts) == 4:
-                    nodes.append(NodeArrival(time=float(parts[1]), node=int(parts[2]), origin=parts[3]))
+                    nodes.append(
+                        NodeArrival(time=float(parts[1]), node=int(parts[2]), origin=parts[3])
+                    )
                 elif parts[0] == "E" and len(parts) == 4:
-                    edges.append(EdgeArrival(time=float(parts[1]), u=int(parts[2]), v=int(parts[3])))
+                    edges.append(
+                        EdgeArrival(time=float(parts[1]), u=int(parts[2]), v=int(parts[3]))
+                    )
                 else:
                     raise ValueError("unrecognized record")
             except (ValueError, IndexError) as exc:

@@ -6,12 +6,12 @@ Each metric module exposes a pure function over a
 snapshot series at a chosen cadence.
 """
 
-from repro.metrics.growth import GrowthSeries, daily_growth
-from repro.metrics.degree import average_degree, degree_distribution
-from repro.metrics.paths import average_path_length_sampled
-from repro.metrics.clustering import average_clustering, local_clustering
 from repro.metrics.assortativity import degree_assortativity
+from repro.metrics.clustering import average_clustering, local_clustering
+from repro.metrics.degree import average_degree, degree_distribution
 from repro.metrics.diameter import effective_diameter_sampled
+from repro.metrics.growth import GrowthSeries, daily_growth
+from repro.metrics.paths import average_path_length_sampled
 from repro.metrics.timeseries import MetricTimeseries, compute_metric_timeseries
 
 __all__ = [

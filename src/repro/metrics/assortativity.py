@@ -7,22 +7,37 @@ measure symmetric (the standard Newman definition).
 
 from __future__ import annotations
 
+
 from repro.graph.snapshot import GraphSnapshot
-from repro.util.stats import pearson_correlation
 
 __all__ = ["degree_assortativity"]
 
 
 def degree_assortativity(graph: GraphSnapshot) -> float:
-    """Degree correlation over edges; ``nan`` when undefined (e.g. regular graphs)."""
-    xs: list[int] = []
-    ys: list[int] = []
+    """Degree correlation over edges; ``nan`` when undefined (e.g. regular graphs).
+
+    Accumulates the Pearson sums in exact integer arithmetic, so the result
+    is independent of edge iteration order — a requirement for checkpointed
+    parallel replay, whose rebuilt adjacency sets may iterate differently
+    than serially grown ones.
+    """
     adjacency = graph.adjacency
+    # Both orientations of every edge contribute, so the x- and y-series
+    # are permutations of each other: sum(x) == sum(y), sum(x^2) == sum(y^2).
+    n = 0
+    s = 0  # sum of degrees over both orientations
+    ss = 0  # sum of squared degrees over both orientations
+    sxy = 0  # sum of du * dv over both orientations
     for u, v in graph.edges():
         du = len(adjacency[u])
         dv = len(adjacency[v])
-        xs.append(du)
-        ys.append(dv)
-        xs.append(dv)
-        ys.append(du)
-    return pearson_correlation(xs, ys)
+        n += 2
+        s += du + dv
+        ss += du * du + dv * dv
+        sxy += 2 * du * dv
+    if n < 2:
+        return float("nan")
+    var = n * ss - s * s  # n^2 * variance, exact
+    if var == 0:
+        return float("nan")
+    return float((n * sxy - s * s) / var)

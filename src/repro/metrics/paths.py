@@ -32,7 +32,11 @@ def average_path_length_sampled(
     component = largest_component(graph)
     if len(component) < 2:
         return float("nan")
+    # Sort the sampling pool: set iteration order is an implementation
+    # detail, and sampling must not depend on it or parallel replay (which
+    # rebuilds adjacency sets from checkpoints) would drift from serial.
     members = np.fromiter(component, dtype=np.int64, count=len(component))
+    members.sort()
     k = min(sample_size, members.size)
     sources = generator.choice(members, size=k, replace=False)
     total = 0

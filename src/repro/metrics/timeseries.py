@@ -10,8 +10,14 @@ from __future__ import annotations
 
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.runtime.spec import MetricSpec
 
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.events import EventStream
@@ -63,15 +69,38 @@ def standard_metrics(
 
 def compute_metric_timeseries(
     stream: EventStream,
-    metrics: Mapping[str, MetricFn],
+    metrics: Mapping[str, MetricFn] | MetricSpec,
     interval: float = 3.0,
     start: float | None = None,
+    *,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> MetricTimeseries:
     """Evaluate ``metrics`` on snapshots every ``interval`` days.
 
     ``start`` defaults to the first interval boundary; snapshots with no
     nodes are skipped.
+
+    ``metrics`` is either a mapping of named callables (the original API,
+    always evaluated serially in-process) or a declarative
+    :class:`repro.runtime.MetricSpec`, which unlocks the runtime layer:
+    ``workers > 1`` evaluates contiguous snapshot windows in a process
+    pool (bit-identical to serial), and ``cache_dir`` enables the
+    content-addressed on-disk result cache.
     """
+    from repro.runtime.spec import MetricSpec
+
+    if isinstance(metrics, MetricSpec):
+        from repro.runtime.api import compute_timeseries
+
+        return compute_timeseries(
+            stream, metrics, interval=interval, start=start, workers=workers, cache_dir=cache_dir
+        )
+    if workers != 1 or cache_dir is not None:
+        raise ValueError(
+            "workers/cache_dir require a repro.runtime.MetricSpec; ad-hoc metric "
+            "callables cannot be re-seeded per snapshot or shipped to worker processes"
+        )
     replay = DynamicGraph(stream)
     series = MetricTimeseries(values={name: [] for name in metrics})
     for view in replay.snapshots(interval=interval, start=start):

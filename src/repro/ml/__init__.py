@@ -6,14 +6,14 @@ soft-margin SVM trained with Pegasos-style stochastic subgradient descent,
 with feature standardization and class-balanced weighting.
 """
 
-from repro.ml.scaling import StandardScaler
-from repro.ml.svm import LinearSVM
 from repro.ml.evaluation import (
     ClassAccuracies,
     class_accuracies,
     train_test_split,
 )
 from repro.ml.prediction import MergePredictionResult, predict_merges
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import LinearSVM
 
 __all__ = [
     "StandardScaler",

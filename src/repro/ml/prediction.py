@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.community.features import MergeSample, build_merge_dataset
+from repro.community.features import build_merge_dataset
 from repro.community.tracking import CommunityTracker
 from repro.ml.evaluation import ClassAccuracies, class_accuracies, train_test_split
 from repro.ml.scaling import StandardScaler

@@ -11,7 +11,10 @@ class StandardScaler:
     """Fit column means/stds on training data; transform any matrix.
 
     Zero-variance columns are left centred but unscaled (divisor 1), so
-    constant features cannot produce NaNs.
+    constant features cannot produce NaNs.  "Zero variance" is judged
+    relative to the column's magnitude: a column of identical values can
+    pick up a std of a few ulps from floating-point summation, and
+    dividing by it would blow the column up to ±1 instead of ~0.
     """
 
     def __init__(self) -> None:
@@ -25,7 +28,7 @@ class StandardScaler:
             raise ValueError(f"expected non-empty 2-D matrix, got shape {X.shape}")
         self.mean_ = X.mean(axis=0)
         std = X.std(axis=0)
-        std[std == 0] = 1.0
+        std[std <= 1e-12 * np.maximum(1.0, np.abs(self.mean_))] = 1.0
         self.scale_ = std
         return self
 

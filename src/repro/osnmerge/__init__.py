@@ -1,19 +1,19 @@
 """Analysis of the Xiaonei/5Q network-merge event (paper §5, Figures 8-9)."""
 
-from repro.osnmerge.classify import EdgeClass, classify_edge, classify_edges
 from repro.osnmerge.activity import (
     ActiveUserSeries,
-    activity_threshold,
     active_users_over_time,
+    activity_threshold,
     duplicate_account_estimate,
 )
+from repro.osnmerge.classify import EdgeClass, classify_edge, classify_edges
+from repro.osnmerge.distance import cross_network_distance
 from repro.osnmerge.edge_rates import (
     EdgeRateSeries,
     edges_per_day_by_type,
     internal_external_ratio,
     new_external_ratio,
 )
-from repro.osnmerge.distance import cross_network_distance
 from repro.osnmerge.summary import MergeReport, summarize_merge
 
 __all__ = [

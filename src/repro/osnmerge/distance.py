@@ -61,8 +61,12 @@ def cross_network_distance(
         if view.time <= merge_day:
             continue
         graph = view.graph
-        x_mean, x_fail = _mean_distance(graph, xiaonei, set(fivq.tolist()), new_users, sample_size, rng)
-        f_mean, f_fail = _mean_distance(graph, fivq, set(xiaonei.tolist()), new_users, sample_size, rng)
+        x_mean, x_fail = _mean_distance(
+            graph, xiaonei, set(fivq.tolist()), new_users, sample_size, rng
+        )
+        f_mean, f_fail = _mean_distance(
+            graph, fivq, set(xiaonei.tolist()), new_users, sample_size, rng
+        )
         days.append(view.time - merge_day)
         x_to_f.append(x_mean)
         f_to_x.append(f_mean)

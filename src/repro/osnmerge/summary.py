@@ -8,15 +8,14 @@ import numpy as np
 
 from repro.graph.events import ORIGIN_5Q, ORIGIN_XIAONEI, EventStream
 from repro.osnmerge.activity import (
-    activity_threshold,
     active_users_over_time,
+    activity_threshold,
     duplicate_account_estimate,
 )
 from repro.osnmerge.distance import cross_network_distance
 from repro.osnmerge.edge_rates import (
     edges_per_day_by_type,
     internal_external_ratio,
-    new_external_ratio,
 )
 
 __all__ = ["MergeReport", "summarize_merge"]

@@ -1,11 +1,11 @@
 """Preferential-attachment strength over time (paper §3.2, Figure 3)."""
 
+from repro.pa.alpha import AlphaSeries, alpha_series, fit_alpha
 from repro.pa.edge_probability import (
     DestinationRule,
     EdgeProbabilityTracker,
     PeCheckpoint,
 )
-from repro.pa.alpha import AlphaSeries, alpha_series, fit_alpha
 from repro.pa.mixture import MixtureEstimate, MixtureSeries, estimate_mixture, mixture_series
 
 __all__ = [

@@ -1,0 +1,46 @@
+"""The runtime front door: cache lookup around parallel evaluation.
+
+:func:`compute_timeseries` is what the CLI, :class:`AnalysisContext`, and
+:func:`repro.metrics.timeseries.compute_metric_timeseries` (when handed a
+:class:`~repro.runtime.spec.MetricSpec`) all call.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graph.events import EventStream
+from repro.metrics.timeseries import MetricTimeseries
+from repro.runtime.cache import ResultCache, stream_digest
+from repro.runtime.parallel import evaluate_timeseries
+from repro.runtime.spec import MetricSpec
+
+__all__ = ["compute_timeseries"]
+
+
+def compute_timeseries(
+    stream: EventStream,
+    spec: MetricSpec,
+    interval: float = 3.0,
+    start: float | None = None,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+) -> MetricTimeseries:
+    """Evaluate ``spec`` over ``stream``, with optional caching.
+
+    ``cache_dir=None`` disables the cache entirely.  With a directory, the
+    result is keyed by stream content + spec + cadence (worker count does
+    not participate: serial and parallel results are bit-identical), so a
+    re-run with unchanged inputs is a pure read.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    key = None
+    if cache is not None:
+        key = cache.key(stream_digest(stream), spec, interval, start)
+        hit = cache.load(key)
+        if hit is not None:
+            return hit
+    series = evaluate_timeseries(stream, spec, interval=interval, start=start, workers=workers)
+    if cache is not None and key is not None:
+        cache.store(key, series)
+    return series

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk cache for metric timeseries.
+
+Results are keyed by a digest of everything that determines them: the
+stream's *content* (not its path or mtime), the metric spec fingerprint
+(names, sampling parameters, seed), the snapshot cadence, and a format
+version.  Worker count is deliberately excluded — serial and parallel
+runs are bit-identical, so they share entries.  Any change to an input
+changes the key, so invalidation is automatic and stale entries are
+simply never read again.
+
+Entries are single ``.npz`` files written atomically (temp file +
+``os.replace``), so a crashed writer can never publish a torn entry and
+concurrent readers always see complete files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.events import EventStream
+from repro.metrics.timeseries import MetricTimeseries
+from repro.runtime.spec import MetricSpec
+
+__all__ = ["ResultCache", "default_cache_dir", "stream_digest"]
+
+# Bump when the cache entry layout or any result-affecting convention
+# (RNG derivation, grid semantics) changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def stream_digest(stream: EventStream) -> str:
+    """SHA-256 over the stream's full event content.
+
+    Hashes times, ids, and origin labels of every event in order, so any
+    edit to the stream — reordering, relabeling, a single timestamp —
+    produces a different digest.
+    """
+    h = hashlib.sha256()
+    h.update(np.array([ev.time for ev in stream.nodes], dtype=np.float64).tobytes())
+    h.update(np.array([ev.node for ev in stream.nodes], dtype=np.int64).tobytes())
+    h.update("\x00".join(ev.origin for ev in stream.nodes).encode())
+    h.update(np.array([ev.time for ev in stream.edges], dtype=np.float64).tobytes())
+    h.update(np.array([(ev.u, ev.v) for ev in stream.edges], dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key>.npz`` metric-timeseries entries."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+
+    def key(
+        self,
+        digest: str,
+        spec: MetricSpec,
+        interval: float,
+        start: float | None,
+    ) -> str:
+        """Cache key for evaluating ``spec`` over the stream with ``digest``."""
+        payload = "\x00".join(
+            [
+                f"v{CACHE_FORMAT_VERSION}",
+                digest,
+                spec.fingerprint(),
+                repr(float(interval)),
+                repr(None if start is None else float(start)),
+            ]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path(self, key: str) -> Path:
+        """Filesystem path of the entry for ``key``."""
+        return self.root / f"{key}.npz"
+
+    def load(self, key: str) -> MetricTimeseries | None:
+        """The cached series for ``key``, or ``None`` on a miss.
+
+        A file that cannot be parsed (truncated, foreign, or from a layout
+        this version cannot read) counts as a miss: the entry is recomputed
+        and overwritten, never raised to the caller.
+        """
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                names = [str(name) for name in data["names"]]
+                times = data["times"]
+                values = data["values"]
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+        return MetricTimeseries(
+            times=times.tolist(),
+            values={name: values[i].tolist() for i, name in enumerate(names)},
+        )
+
+    def store(self, key: str, series: MetricTimeseries) -> Path:
+        """Atomically write ``series`` under ``key``; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        names = list(series.values)
+        times = np.asarray(series.times, dtype=np.float64)
+        values = np.array(
+            [np.asarray(series.values[name], dtype=np.float64) for name in names]
+        ).reshape(len(names), times.size)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, names=np.array(names), times=times, values=values)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return self.path(key)

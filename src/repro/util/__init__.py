@@ -1,13 +1,13 @@
 """Shared numeric and sampling utilities used across the library."""
 
-from repro.util.rng import make_rng, spawn_rngs
 from repro.util.binning import (
     cdf_points,
     empirical_cdf,
     histogram_counts,
-    log_bins,
     log_binned_pdf,
+    log_bins,
 )
+from repro.util.rng import make_rng, spawn_rngs
 from repro.util.stats import (
     fit_polynomial,
     linear_fit_loglog,

@@ -1,7 +1,6 @@
 """Unit tests for analysis-driver helper functions."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.fig7 import scaled_size_buckets
 from repro.analysis.fig8 import _crossover_day

@@ -69,5 +69,6 @@ class TestCommands:
         assert "[F2b]" in capsys.readouterr().out
 
     def test_experiment_unknown(self, capsys):
-        assert main(["experiment", "F99", "--preset", "tiny", "--nodes", "100", "--days", "20"]) == 2
+        args = ["experiment", "F99", "--preset", "tiny", "--nodes", "100", "--days", "20"]
+        assert main(args) == 2
         assert "error" in capsys.readouterr().err

@@ -1,7 +1,6 @@
 """Tests for repro.community.features."""
 
 import numpy as np
-import pytest
 
 from repro.community.features import FEATURE_NAMES, build_merge_dataset
 from repro.community.tracking import CommunityTracker

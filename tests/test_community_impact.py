@@ -10,7 +10,6 @@ from repro.community.impact import (
     lifetime_by_community_size,
     membership_from_snapshot,
 )
-from repro.graph.dynamic import DynamicGraph
 
 
 @pytest.fixture(scope="module")

@@ -2,11 +2,11 @@
 
 import pytest
 
-nx = pytest.importorskip("networkx")
-
 from repro.community.louvain import louvain
 from repro.community.modularity import modularity
 from repro.graph.snapshot import GraphSnapshot
+
+nx = pytest.importorskip("networkx")
 
 
 class TestBasicDetection:

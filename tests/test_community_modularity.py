@@ -2,10 +2,10 @@
 
 import pytest
 
-nx = pytest.importorskip("networkx")
-
 from repro.community.modularity import modularity, partition_communities
 from repro.graph.snapshot import GraphSnapshot
+
+nx = pytest.importorskip("networkx")
 
 
 class TestPartitionCommunities:

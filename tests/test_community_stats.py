@@ -79,9 +79,18 @@ class TestMergeSplitStats:
     def _tracker_with_events(self):
         class Stub:
             events = [
-                CommunityEvent(kind="merge", time=1.0, subject=1, other=0, size_ratio=0.01, strongest_tie=True),
-                CommunityEvent(kind="merge", time=2.0, subject=2, other=0, size_ratio=0.02, strongest_tie=True),
-                CommunityEvent(kind="merge", time=3.0, subject=3, other=0, size_ratio=float("nan"), strongest_tie=False),
+                CommunityEvent(
+                    kind="merge", time=1.0, subject=1, other=0, size_ratio=0.01,
+                    strongest_tie=True,
+                ),
+                CommunityEvent(
+                    kind="merge", time=2.0, subject=2, other=0, size_ratio=0.02,
+                    strongest_tie=True,
+                ),
+                CommunityEvent(
+                    kind="merge", time=3.0, subject=3, other=0, size_ratio=float("nan"),
+                    strongest_tie=False,
+                ),
                 CommunityEvent(kind="split", time=2.0, subject=0, children=(9,), size_ratio=0.8),
                 CommunityEvent(kind="birth", time=0.0, subject=0),
             ]

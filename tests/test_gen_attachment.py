@@ -1,6 +1,5 @@
 """Tests for repro.gen.attachment."""
 
-import numpy as np
 import pytest
 
 from repro.gen.attachment import AttachmentState, pa_weight, spotlight_weight
@@ -76,7 +75,9 @@ class TestChooseDestination:
             graph.add_node(n)
             state.add_node(n, community=0)
         blocked = {1, 2, 3, 4}
-        bias = lambda c: 0.0 if c in blocked else 1.0
+        def bias(c):
+            return 0.0 if c in blocked else 1.0
+
         assert state.choose_destination(0, graph, accept_bias=bias) is None
 
     def test_preferential_attachment_prefers_hubs(self):

@@ -1,7 +1,8 @@
 """Tests for the merge machinery of repro.gen.renren."""
 
-import numpy as np
 from collections import Counter
+
+import numpy as np
 
 from repro.gen.config import presets
 from repro.gen.renren import RenrenGenerator

@@ -1,6 +1,5 @@
 """Tests for repro.graph.nullmodel."""
 
-import numpy as np
 import pytest
 
 from repro.graph.nullmodel import degree_preserving_rewire

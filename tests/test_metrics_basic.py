@@ -2,15 +2,14 @@
 
 import math
 
-import numpy as np
 import pytest
-
-nx = pytest.importorskip("networkx")
 
 from repro.graph.snapshot import GraphSnapshot
 from repro.metrics.assortativity import degree_assortativity
 from repro.metrics.clustering import average_clustering, local_clustering
 from repro.metrics.degree import average_degree, degree_distribution
+
+nx = pytest.importorskip("networkx")
 
 
 def to_networkx(graph: GraphSnapshot):

@@ -11,7 +11,12 @@ from repro.metrics.timeseries import compute_metric_timeseries, standard_metrics
 def small_stream() -> EventStream:
     return EventStream(
         nodes=[NodeArrival(0.1, 0), NodeArrival(0.2, 1), NodeArrival(1.5, 2), NodeArrival(2.5, 3)],
-        edges=[EdgeArrival(0.5, 0, 1), EdgeArrival(1.7, 1, 2), EdgeArrival(2.6, 2, 3), EdgeArrival(2.9, 0, 3)],
+        edges=[
+            EdgeArrival(0.5, 0, 1),
+            EdgeArrival(1.7, 1, 2),
+            EdgeArrival(2.6, 2, 3),
+            EdgeArrival(2.9, 0, 3),
+        ],
     )
 
 

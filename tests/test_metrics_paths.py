@@ -4,10 +4,10 @@ import math
 
 import pytest
 
-nx = pytest.importorskip("networkx")
-
 from repro.graph.snapshot import GraphSnapshot
 from repro.metrics.paths import average_path_length_sampled
+
+nx = pytest.importorskip("networkx")
 
 
 def test_exact_on_full_sample(path_graph):

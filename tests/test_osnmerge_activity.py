@@ -5,8 +5,8 @@ import pytest
 
 from repro.graph.events import ORIGIN_5Q, ORIGIN_XIAONEI
 from repro.osnmerge.activity import (
-    activity_threshold,
     active_users_over_time,
+    activity_threshold,
     duplicate_account_estimate,
 )
 

@@ -1,7 +1,5 @@
 """Tests for repro.osnmerge.classify."""
 
-import pytest
-
 from repro.graph.events import ORIGIN_5Q, ORIGIN_NEW, ORIGIN_XIAONEI, EdgeArrival
 from repro.osnmerge.classify import EdgeClass, classify_edge, classify_edges
 

@@ -1,6 +1,5 @@
 """Tests for repro.osnmerge.summary."""
 
-import numpy as np
 import pytest
 
 from repro.osnmerge.summary import summarize_merge

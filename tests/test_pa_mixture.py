@@ -1,7 +1,6 @@
 """Tests for repro.pa.mixture."""
 
 import numpy as np
-import pytest
 
 from repro.gen.baselines import barabasi_albert_stream, uniform_attachment_stream
 from repro.pa.edge_probability import DestinationRule

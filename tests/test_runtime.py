@@ -1,0 +1,178 @@
+"""Tests for repro.runtime: spec seeding, parallel determinism, result cache."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeseries import compute_metric_timeseries
+from repro.runtime import (
+    MetricSpec,
+    ResultCache,
+    compute_timeseries,
+    evaluate_timeseries,
+    snapshot_times,
+    stream_digest,
+)
+
+# Small sampling knobs keep each evaluation fast; the suite runs several.
+SPEC = MetricSpec(path_sample=20, clustering_sample=60, seed=3)
+INTERVAL = 15.0
+
+
+def assert_series_identical(a, b):
+    """Element-for-element equality, treating NaN == NaN as equal."""
+    assert a.times == b.times
+    assert set(a.values) == set(b.values)
+    for name in a.values:
+        xs = np.asarray(a.values[name])
+        ys = np.asarray(b.values[name])
+        assert xs.shape == ys.shape
+        np.testing.assert_array_equal(xs, ys)
+
+
+class TestMetricSpec:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            MetricSpec(names=("average_degree", "nope"))
+
+    def test_build_is_deterministic_per_index(self, tiny_graph):
+        for index in (0, 7):
+            a = SPEC.build(index)
+            b = SPEC.build(index)
+            for name in SPEC.names:
+                va, vb = a[name](tiny_graph), b[name](tiny_graph)
+                assert va == vb or (np.isnan(va) and np.isnan(vb))
+
+    def test_names_coerced_to_tuple(self):
+        spec = MetricSpec(names=["average_degree"])
+        assert spec.names == ("average_degree",)
+
+    def test_fingerprint_distinguishes_params(self):
+        assert SPEC.fingerprint() != MetricSpec(path_sample=21, seed=3).fingerprint()
+        assert SPEC.fingerprint() != MetricSpec(path_sample=20, seed=4).fingerprint()
+        twin = MetricSpec(path_sample=20, clustering_sample=60, seed=3)
+        assert SPEC.fingerprint() == twin.fingerprint()
+
+
+class TestSnapshotTimes:
+    def test_matches_serial_snapshot_iterator(self, tiny_stream):
+        from repro.graph.dynamic import DynamicGraph
+
+        grid = snapshot_times(tiny_stream.end_time, 7.0)
+        serial = [v.time for v in DynamicGraph(tiny_stream).snapshots(interval=7.0)]
+        assert grid == serial
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            snapshot_times(10.0, 0.0)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_parallel_equals_serial(self, tiny_stream, workers):
+        serial = evaluate_timeseries(tiny_stream, SPEC, interval=INTERVAL, workers=1)
+        parallel = evaluate_timeseries(tiny_stream, SPEC, interval=INTERVAL, workers=workers)
+        assert_series_identical(serial, parallel)
+
+    def test_more_workers_than_snapshots(self, tiny_stream):
+        serial = evaluate_timeseries(tiny_stream, SPEC, interval=25.0, workers=1)
+        parallel = evaluate_timeseries(tiny_stream, SPEC, interval=25.0, workers=16)
+        assert_series_identical(serial, parallel)
+
+    def test_invalid_workers(self, tiny_stream):
+        with pytest.raises(ValueError):
+            evaluate_timeseries(tiny_stream, SPEC, workers=0)
+
+    def test_timeseries_facade_accepts_spec(self, tiny_stream):
+        direct = evaluate_timeseries(tiny_stream, SPEC, interval=INTERVAL, workers=1)
+        via_facade = compute_metric_timeseries(tiny_stream, SPEC, interval=INTERVAL, workers=2)
+        assert_series_identical(direct, via_facade)
+
+    def test_facade_rejects_workers_with_callables(self, tiny_stream):
+        with pytest.raises(ValueError, match="MetricSpec"):
+            compute_metric_timeseries(
+                tiny_stream, {"edges": lambda g: float(g.num_edges)}, workers=2
+            )
+
+
+class TestResultCache:
+    def test_second_run_served_from_cache_with_identical_arrays(self, tiny_stream, tmp_path):
+        cold = compute_timeseries(tiny_stream, SPEC, interval=INTERVAL, cache_dir=tmp_path)
+        entries = list(tmp_path.glob("*.npz"))
+        assert len(entries) == 1
+        # Poison the evaluator: a cache hit must not replay at all.
+        warm = compute_timeseries(
+            tiny_stream.__class__(nodes=tiny_stream.nodes, edges=tiny_stream.edges),
+            SPEC,
+            interval=INTERVAL,
+            cache_dir=tmp_path,
+        )
+        assert_series_identical(cold, warm)
+        assert list(tmp_path.glob("*.npz")) == entries
+
+    def test_cache_hit_skips_evaluation(self, tiny_stream, tmp_path, monkeypatch):
+        compute_timeseries(tiny_stream, SPEC, interval=INTERVAL, cache_dir=tmp_path)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache hit should not re-evaluate")
+
+        monkeypatch.setattr("repro.runtime.api.evaluate_timeseries", boom)
+        warm = compute_timeseries(tiny_stream, SPEC, interval=INTERVAL, cache_dir=tmp_path)
+        assert len(warm.times) > 0
+
+    def test_key_changes_with_inputs(self, tiny_stream):
+        cache = ResultCache("/tmp/unused")
+        digest = stream_digest(tiny_stream)
+        base = cache.key(digest, SPEC, INTERVAL, None)
+        assert base == cache.key(digest, SPEC, INTERVAL, None)
+        assert base != cache.key(digest, SPEC, INTERVAL + 1.0, None)
+        assert base != cache.key(digest, SPEC, INTERVAL, 2.0)
+        reseeded = MetricSpec(path_sample=20, clustering_sample=60, seed=4)
+        assert base != cache.key(digest, reseeded, INTERVAL, None)
+        assert base != cache.key("0" * 64, SPEC, INTERVAL, None)
+
+    def test_stream_digest_sensitive_to_content(self, tiny_stream):
+        from repro.graph.events import EventStream, NodeArrival
+
+        base = stream_digest(tiny_stream)
+        assert base == stream_digest(tiny_stream)
+        tweaked = EventStream(
+            nodes=list(tiny_stream.nodes[:-1]) + [NodeArrival(tiny_stream.nodes[-1].time, 10**9)],
+            edges=tiny_stream.edges,
+        )
+        assert base != stream_digest(tweaked)
+
+    def test_store_load_roundtrip_with_nans(self, tmp_path):
+        from repro.metrics.timeseries import MetricTimeseries
+
+        cache = ResultCache(tmp_path)
+        series = MetricTimeseries(
+            times=[1.0, 2.0], values={"m": [float("nan"), 0.25], "k": [1.5, -3.0]}
+        )
+        cache.store("k" * 64, series)
+        loaded = cache.load("k" * 64)
+        assert loaded is not None
+        assert_series_identical(series, loaded)
+
+    def test_load_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).load("f" * 64) is None
+
+    def test_corrupt_entry_treated_as_miss(self, tiny_stream, tmp_path):
+        cold = compute_timeseries(tiny_stream, SPEC, interval=INTERVAL, cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_text("not an npz file")
+        assert ResultCache(tmp_path).load(entry.stem) is None
+        recovered = compute_timeseries(tiny_stream, SPEC, interval=INTERVAL, cache_dir=tmp_path)
+        assert_series_identical(cold, recovered)
+
+
+class TestAnalysisContextWiring:
+    def test_context_metrics_identical_across_worker_counts(self, tmp_path):
+        from repro.analysis import AnalysisContext
+        from repro.gen.config import presets
+
+        serial = AnalysisContext(presets.tiny(), seed=11)
+        parallel = AnalysisContext(presets.tiny(), seed=11, workers=2, cache_dir=tmp_path)
+        assert_series_identical(serial.metrics, parallel.metrics)
+        # A fresh context with the same inputs is now served from cache.
+        cached = AnalysisContext(presets.tiny(), seed=11, workers=1, cache_dir=tmp_path)
+        assert_series_identical(serial.metrics, cached.metrics)
