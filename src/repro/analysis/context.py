@@ -32,7 +32,9 @@ class AnalysisContext:
     ``workers`` and ``cache_dir`` flow to the runtime layer: the metric
     timeseries every Figure-1 panel reads is evaluated in a process pool
     when ``workers > 1`` and persisted/reused across processes when
-    ``cache_dir`` names a directory.  Results are identical either way.
+    ``cache_dir`` names a directory.  ``backend`` selects the kernel
+    implementation (:mod:`repro.kernels`).  Results are identical in
+    every combination.
     """
 
     def __init__(
@@ -43,6 +45,7 @@ class AnalysisContext:
         tracking_delta: float = 0.04,
         workers: int = 1,
         cache_dir: str | Path | None = None,
+        backend: str = "auto",
     ) -> None:
         self.config = config
         self.seed = seed
@@ -50,6 +53,7 @@ class AnalysisContext:
         self.tracking_delta = tracking_delta
         self.workers = workers
         self.cache_dir = cache_dir
+        self.backend = backend
         self._stream: EventStream | None = None
         self._tracker: CommunityTracker | None = None
         self._final_graph: GraphSnapshot | None = None
@@ -80,6 +84,7 @@ class AnalysisContext:
                 interval=self.tracking_interval,
                 delta=self.tracking_delta,
                 seed=self.seed,
+                backend=self.backend,
             )
         return self._tracker
 
@@ -103,7 +108,9 @@ class AnalysisContext:
         assortativity), sampled ~40 times over the trace (cached)."""
         if self._metrics is None:
             interval = max(2.0, self.config.days / 40.0)
-            spec = MetricSpec(path_sample=200, clustering_sample=800, seed=self.seed)
+            spec = MetricSpec(
+                path_sample=200, clustering_sample=800, seed=self.seed, backend=self.backend
+            )
             self._metrics = compute_metric_timeseries(
                 self.stream,
                 spec,

@@ -48,7 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--path-sample", type=int, default=200)
     metrics.add_argument("--clustering-sample", type=int, default=1500)
     metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="emit times/values (and the profile, with --profile) as JSON",
+    )
     _add_runtime_args(metrics)
+    _add_profile_arg(metrics)
 
     comm = sub.add_parser("communities", help="track communities over a trace")
     comm.add_argument("trace", help="trace TSV path")
@@ -56,11 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     comm.add_argument("--delta", type=float, default=0.04)
     comm.add_argument("--min-size", type=int, default=10)
     comm.add_argument("--seed", type=int, default=0)
+    _add_backend_arg(comm)
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment (or 'all')")
     exp.add_argument("experiment", help="experiment id, e.g. F3c, or 'all'")
     _add_preset_args(exp)
     _add_runtime_args(exp)
+    _add_profile_arg(exp)
 
     return parser
 
@@ -85,6 +92,40 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the result cache even if --cache-dir/$REPRO_CACHE_DIR is set",
     )
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("auto", "python", "csr"), default="auto",
+        help="kernel implementation; 'auto' honours $REPRO_BACKEND, else csr",
+    )
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-metric wall-time and cache hit/miss counts",
+    )
+
+
+def _print_profile(profile: dict | None) -> None:
+    """Render a runtime profile dict as a summary table."""
+    if profile is None:
+        print("profile: unavailable (metrics were not evaluated via the runtime)")
+        return
+    hits = profile.get("cache_hits", 0)
+    misses = profile.get("cache_misses", 0)
+    print(
+        f"backend: {profile.get('backend', '?')}  workers: {profile.get('workers', 1)}  "
+        f"cache: {hits} hit(s) / {misses} miss(es)"
+    )
+    metric_seconds = profile.get("metric_seconds") or {}
+    print(f"{'metric':<24}{'snapshots':>10}{'total s':>12}{'mean ms':>12}")
+    for name, seconds in metric_seconds.items():
+        total = sum(seconds)
+        mean_ms = 1000.0 * total / len(seconds) if seconds else float("nan")
+        print(f"{name:<24}{len(seconds):>10d}{total:>12.3f}{mean_ms:>12.2f}")
 
 
 def _resolve_cache_dir(args: argparse.Namespace):
@@ -149,6 +190,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         path_sample=args.path_sample,
         clustering_sample=args.clustering_sample,
         seed=args.seed,
+        backend=args.backend,
     )
     series = compute_metric_timeseries(
         stream,
@@ -157,6 +199,14 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=_resolve_cache_dir(args),
     )
+    if args.json:
+        import json
+
+        payload: dict = {"times": series.times, "values": series.values}
+        if args.profile:
+            payload["profile"] = series.profile
+        print(json.dumps(payload, indent=2))
+        return 0
     names = list(series.values)
     header = "day".rjust(8) + "".join(name.rjust(22) for name in names)
     print(header)
@@ -165,6 +215,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         for name in names:
             row += f"{series.values[name][i]:22.4f}"
         print(row)
+    if args.profile:
+        _print_profile(series.profile)
     return 0
 
 
@@ -175,7 +227,7 @@ def _cmd_communities(args: argparse.Namespace) -> int:
     stream = read_event_stream(args.trace)
     tracker = track_stream(
         stream, interval=args.interval, delta=args.delta,
-        min_size=args.min_size, seed=args.seed,
+        min_size=args.min_size, seed=args.seed, backend=args.backend,
     )
     print(f"{'day':>8} {'communities':>12} {'modularity':>11} {'similarity':>11}")
     for snap in tracker.snapshots:
@@ -191,7 +243,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     config = _resolve_config(args)
     ctx = AnalysisContext(
-        config, seed=args.seed, workers=args.workers, cache_dir=_resolve_cache_dir(args)
+        config,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=_resolve_cache_dir(args),
+        backend=args.backend,
     )
     targets = list_experiments() if args.experiment == "all" else [args.experiment]
     status = 0
@@ -204,6 +260,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"[{experiment}] skipped: {exc}")
             status = 0
+    if args.profile:
+        _print_profile(ctx.metrics.profile)
     return status
 
 

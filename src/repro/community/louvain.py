@@ -13,21 +13,31 @@ paper-specific behaviours:
   snapshot can seed the initial assignment, giving the "strong explicit
   tie between snapshots" the paper's tracking relies on.
 
-Node visit order is shuffled with a seeded RNG, so results are
-deterministic for a given seed.
+Node visit order is shuffled with a seeded RNG, and modularity-gain ties
+resolve to the smallest community label, so results are deterministic for
+a given seed — independent of dict/set iteration order.
+
+Kernel-enabled: ``backend="csr"`` (the ``"auto"`` default) runs the
+flat-array local-move phase from :mod:`repro.kernels.louvain` behind the
+same API and δ semantics, bit-identical for identical RNG draws.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.community.modularity import modularity, partition_communities
 from repro.graph.snapshot import GraphSnapshot
+from repro.kernels.backend import resolve_backend
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.kernels.csr import CSRGraph
 
 __all__ = ["louvain", "LouvainResult"]
 
@@ -59,15 +69,35 @@ def louvain(
     delta: float = 0.01,
     seed_partition: Mapping[int, int] | None = None,
     seed: int | np.random.Generator | None = 0,
+    *,
+    backend: str = "auto",
+    csr: CSRGraph | None = None,
 ) -> LouvainResult:
     """Run Louvain on ``graph`` with stopping threshold ``delta``.
 
     ``seed_partition`` (incremental mode) provides initial community
-    labels; nodes missing from it start as singletons.
+    labels; nodes missing from it start as singletons.  ``csr`` optionally
+    reuses a prebuilt :class:`~repro.kernels.csr.CSRGraph` of the same
+    snapshot when the csr backend is selected.
     """
     if delta < 0:
         raise ValueError(f"delta must be non-negative, got {delta}")
     rng = make_rng(seed)
+    if resolve_backend(backend) == "csr":
+        from repro.kernels.csr import CSRGraph as _CSRGraph
+        from repro.kernels.louvain import louvain_csr
+
+        partition, levels = louvain_csr(
+            csr if csr is not None else _CSRGraph.from_snapshot(graph),
+            delta,
+            seed_partition,
+            rng,
+        )
+        return LouvainResult(
+            partition=partition,
+            modularity=modularity(graph, partition),
+            levels=levels,
+        )
     # Working weighted graph: adj[u][v] = weight; self-loops appear as adj[u][u].
     adj: dict[int, dict[int, float]] = {
         u: {v: 1.0 for v in nbrs} for u, nbrs in graph.adjacency.items()
@@ -98,18 +128,24 @@ def louvain(
 
 
 def _initial_assignment(
-    adj: dict[int, dict[int, float]],
+    nodes: Iterable[int],
     seed_partition: Mapping[int, int] | None,
 ) -> dict[int, int]:
+    """Initial node → label map over ``nodes`` (any iterable of node ids).
+
+    Shared with the csr kernel, which passes the CSR position order (equal
+    to adjacency insertion order) so both backends start identically.
+    """
     if seed_partition is None:
-        return {u: u for u in adj}
+        return {u: u for u in nodes}
+    nodes = list(nodes)
     # Map seed labels into a fresh label space to avoid collisions with
     # singleton labels for unseen nodes (which use the node ids themselves,
     # offset to a disjoint range).
     label_map: dict[int, int] = {}
     assignment: dict[int, int] = {}
     next_label = 0
-    for u in adj:
+    for u in nodes:
         seed_label = seed_partition.get(u)
         if seed_label is None:
             continue
@@ -117,7 +153,7 @@ def _initial_assignment(
             label_map[seed_label] = next_label
             next_label += 1
         assignment[u] = label_map[seed_label]
-    for u in adj:
+    for u in nodes:
         if u not in assignment:
             assignment[u] = next_label
             next_label += 1
@@ -160,10 +196,13 @@ def _one_level(
             comm_tot[cu] -= ku
             base = links.get(cu, 0.0) - comm_tot[cu] * ku / m2
             best_c, best_gain = cu, 0.0
-            for c, w_in in links.items():
+            # Ascending label order: ties resolve to the smallest community
+            # label regardless of dict insertion order, matching the csr
+            # kernel's rank-sorted first-max scan.
+            for c in sorted(links):
                 if c == cu:
                     continue
-                gain = w_in - comm_tot[c] * ku / m2
+                gain = links[c] - comm_tot[c] * ku / m2
                 if gain - base > best_gain:
                     best_gain = gain - base
                     best_c = c

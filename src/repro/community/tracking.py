@@ -34,6 +34,7 @@ from repro.community.louvain import louvain
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.events import EventStream
 from repro.graph.snapshot import GraphSnapshot
+from repro.kernels.backend import resolve_backend
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -150,9 +151,11 @@ class CommunityTracker:
         delta: float = 0.04,
         min_size: int = 10,
         seed: int | np.random.Generator | None = 0,
+        backend: str = "auto",
     ) -> None:
         self.delta = delta
         self.min_size = min_size
+        self.backend = backend
         self._rng = make_rng(seed)
         self._prev_partition: dict[int, int] | None = None
         self._prev_states: dict[int, CommunityState] = {}
@@ -167,11 +170,20 @@ class CommunityTracker:
     def step(self, time: float, graph: GraphSnapshot) -> TrackedSnapshot:
         """Process the next snapshot and return its tracked view."""
         result = louvain(
-            graph, delta=self.delta, seed_partition=self._prev_partition, seed=self._rng
+            graph,
+            delta=self.delta,
+            seed_partition=self._prev_partition,
+            seed=self._rng,
+            backend=self.backend,
         )
+        # Label-sorted: iteration order over ``raw`` decides birth lineage
+        # numbering and tie-breaks downstream, and label values (unlike dict
+        # insertion order) are identical across backends.
         raw = {
             label: frozenset(members)
-            for label, members in result.communities(self.min_size).items()
+            for label, members in sorted(
+                result.communities(self.min_size).items(), key=lambda item: item[0]
+            )
         }
         assigned, similarities = self._match(time, graph, raw)
         avg_sim = float(np.mean(similarities)) if similarities else float("nan")
@@ -197,28 +209,14 @@ class CommunityTracker:
         raw: Mapping[int, frozenset[int]],
     ) -> tuple[dict[int, CommunityState], list[float]]:
         prev_states = self._prev_states
-        node_lineage = {
-            node: state.lineage for state in prev_states.values() for node in state.members
-        }
-        # Overlap counts between each new community and each previous lineage.
-        overlaps: dict[int, Counter] = {}
-        for label, members in raw.items():
-            counter: Counter = Counter()
-            for node in members:
-                lin = node_lineage.get(node)
-                if lin is not None:
-                    counter[lin] += 1
-            overlaps[label] = counter
+        if resolve_backend(self.backend) == "csr":
+            from repro.kernels.matching import match_communities_csr
 
-        parent: dict[int, tuple[int, float] | None] = {}
-        for label, members in raw.items():
-            best: tuple[int, float] | None = None
-            for lin, inter in overlaps[label].items():
-                prev_members = prev_states[lin].members
-                sim = inter / (len(members) + len(prev_members) - inter)
-                if best is None or sim > best[1]:
-                    best = (lin, sim)
-            parent[label] = best
+            parent, overlaps = match_communities_csr(
+                raw, {lin: st.members for lin, st in prev_states.items()}
+            )
+        else:
+            parent, overlaps = _match_python(raw, prev_states)
 
         # Winner child per lineage (continuation); the rest are split-born.
         claimants: dict[int, list[tuple[int, float]]] = defaultdict(list)
@@ -230,7 +228,9 @@ class CommunityTracker:
         similarity_of: dict[int, float] = {}
         continued: set[int] = set()
         for lin, labels in claimants.items():
-            labels.sort(key=lambda pair: pair[1], reverse=True)
+            # Most similar first; ties go to the smallest label so the
+            # winner never depends on claimant insertion order.
+            labels.sort(key=lambda pair: (-pair[1], pair[0]))
             winner, sim = labels[0]
             lineage_of[winner] = lin
             similarity_of[winner] = sim
@@ -368,6 +368,44 @@ class CommunityTracker:
         record.death_reason = reason
 
 
+def _match_python(
+    raw: Mapping[int, frozenset[int]],
+    prev_states: Mapping[int, CommunityState],
+) -> tuple[dict[int, tuple[int, float] | None], dict[int, Counter]]:
+    """Reference matcher: per-label best previous lineage plus overlap counts.
+
+    The kernel equivalent is
+    :func:`repro.kernels.matching.match_communities_csr`; both resolve
+    equal-similarity parents to the smallest lineage id.
+    """
+    node_lineage = {
+        node: state.lineage for state in prev_states.values() for node in state.members
+    }
+    # Overlap counts between each new community and each previous lineage.
+    overlaps: dict[int, Counter] = {}
+    for label, members in raw.items():
+        counter: Counter = Counter()
+        for node in members:
+            lin = node_lineage.get(node)
+            if lin is not None:
+                counter[lin] += 1
+        overlaps[label] = counter
+
+    parent: dict[int, tuple[int, float] | None] = {}
+    for label, members in raw.items():
+        best: tuple[int, float] | None = None
+        # Ascending lineage order: similarity ties resolve to the smallest
+        # lineage id, independent of Counter insertion order.
+        for lin in sorted(overlaps[label]):
+            inter = overlaps[label][lin]
+            prev_members = prev_states[lin].members
+            sim = inter / (len(members) + len(prev_members) - inter)
+            if best is None or sim > best[1]:
+                best = (lin, sim)
+        parent[label] = best
+    return parent, overlaps
+
+
 def track_stream(
     stream: EventStream,
     interval: float = 3.0,
@@ -376,6 +414,7 @@ def track_stream(
     min_size: int = 10,
     min_nodes: int = 64,
     seed: int = 0,
+    backend: str = "auto",
 ) -> CommunityTracker:
     """Track communities over ``stream`` at a fixed snapshot cadence.
 
@@ -383,7 +422,7 @@ def track_stream(
     has at least ``min_nodes`` nodes (the paper starts at day 20 / 64
     nodes), considering only communities larger than ``min_size``.
     """
-    tracker = CommunityTracker(delta=delta, min_size=min_size, seed=seed)
+    tracker = CommunityTracker(delta=delta, min_size=min_size, seed=seed, backend=backend)
     replay = DynamicGraph(stream)
     for view in replay.snapshots(interval=interval, start=start):
         if view.graph.num_nodes < min_nodes:

@@ -4,14 +4,29 @@ Path-length experiments in the paper sample from the largest connected
 component ("SCC" in the paper's undirected usage, §2).  Implemented from
 scratch with iterative BFS, so arbitrarily deep graphs never hit Python's
 recursion limit.
+
+Component ordering is fully deterministic: components sort by size
+(largest first) with ties broken by smallest member id, so the "largest
+component" never depends on traversal order — a requirement for sampled
+metrics to be reproducible across serial, restored, and parallel replays.
+
+``connected_components`` and ``largest_component`` are kernel-enabled:
+``backend="csr"`` (the ``"auto"`` default) runs the frontier-array BFS
+from :mod:`repro.kernels.traversal` and returns identical results.
+Kernel imports stay inside the functions because ``repro.graph.__init__``
+imports this module while :mod:`repro.kernels` imports the graph package.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.graph.snapshot import GraphSnapshot
+
+if TYPE_CHECKING:
+    from repro.kernels.csr import CSRGraph
 
 __all__ = [
     "connected_components",
@@ -21,8 +36,20 @@ __all__ = [
 ]
 
 
-def connected_components(graph: GraphSnapshot) -> list[set[int]]:
-    """All connected components, largest first."""
+def connected_components(
+    graph: GraphSnapshot,
+    *,
+    backend: str = "auto",
+    csr: "CSRGraph | None" = None,
+) -> list[set[int]]:
+    """All connected components, largest first (ties: smallest member id)."""
+    from repro.kernels.backend import resolve_backend
+
+    if resolve_backend(backend) == "csr":
+        from repro.kernels.csr import CSRGraph
+        from repro.kernels.traversal import connected_components_csr
+
+        return connected_components_csr(csr if csr is not None else CSRGraph.from_snapshot(graph))
     seen: set[int] = set()
     components: list[set[int]] = []
     for root in graph.nodes():
@@ -31,12 +58,29 @@ def connected_components(graph: GraphSnapshot) -> list[set[int]]:
         component = _bfs_component(graph, root)
         seen |= component
         components.append(component)
-    components.sort(key=len, reverse=True)
+    components.sort(key=lambda c: (-len(c), min(c)))
     return components
 
 
-def largest_component(graph: GraphSnapshot) -> set[int]:
-    """The node set of the largest connected component (empty graph → empty set)."""
+def largest_component(
+    graph: GraphSnapshot,
+    *,
+    backend: str = "auto",
+    csr: "CSRGraph | None" = None,
+) -> set[int]:
+    """The node set of the largest component (empty graph → empty set).
+
+    Equal-size components tie-break on the smallest member id, not on
+    traversal order.
+    """
+    from repro.kernels.backend import resolve_backend
+
+    if resolve_backend(backend) == "csr":
+        from repro.kernels.csr import CSRGraph
+        from repro.kernels.traversal import largest_component_csr
+
+        members = largest_component_csr(csr if csr is not None else CSRGraph.from_snapshot(graph))
+        return set(members.tolist())
     best: set[int] = set()
     seen: set[int] = set()
     for root in graph.nodes():
@@ -44,7 +88,9 @@ def largest_component(graph: GraphSnapshot) -> set[int]:
             continue
         component = _bfs_component(graph, root)
         seen |= component
-        if len(component) > len(best):
+        if len(component) > len(best) or (
+            len(component) == len(best) and component and min(component) < min(best)
+        ):
             best = component
     return best
 

@@ -1,0 +1,47 @@
+"""Backend selection for the CSR kernel layer.
+
+Every kernel-enabled function takes ``backend="auto" | "python" | "csr"``:
+
+* ``"python"`` — the original dict/set reference implementation;
+* ``"csr"`` — the numpy kernel operating on a :class:`~repro.kernels.csr.CSRGraph`;
+* ``"auto"`` — defer to the ``REPRO_BACKEND`` environment variable if set,
+  otherwise pick the CSR kernel (numpy is a hard dependency, and both
+  backends produce bit-identical floats, so "auto" is a pure performance
+  choice).
+
+Explicit ``"python"``/``"csr"`` arguments always win over the environment:
+the env var is an override for *defaults*, not for code that asked for a
+specific backend (e.g. a parity test pinning both sides).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["BACKENDS", "resolve_backend"]
+
+BACKENDS = ("auto", "python", "csr")
+
+_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve a backend request to ``"python"`` or ``"csr"``.
+
+    Raises :class:`ValueError` for an unknown request or an unknown
+    ``$REPRO_BACKEND`` value (a typo silently falling back would be a
+    confusing way to lose a 5x speedup).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend != "auto":
+        return backend
+    env = os.environ.get(_ENV_VAR, "").strip().lower()
+    if env:
+        if env not in BACKENDS:
+            raise ValueError(
+                f"${_ENV_VAR}={env!r} is not a valid backend; expected one of {BACKENDS}"
+            )
+        if env != "auto":
+            return env
+    return "csr"

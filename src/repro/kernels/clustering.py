@@ -1,0 +1,71 @@
+"""Neighborhood-intersection clustering kernels.
+
+The reference :func:`repro.metrics.clustering.local_clustering` tests all
+``k(k-1)/2`` neighbor pairs with set membership.  The CSR kernel instead
+marks the node's neighborhood in a boolean mask and counts, over the
+concatenated adjacency lists of all neighbors, how many entries hit the
+mask — each triangle edge is seen from both endpoints, so the hit count
+is exactly twice the number of edges among neighbors.  Cost is the sum of
+the neighbors' degrees (a few numpy calls), not ``k^2`` Python set probes,
+which is what makes hub nodes cheap.
+
+Counts are exact integers, so the coefficient ``2 * links / (k * (k-1))``
+is float-identical to the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.csr import CSRGraph, gather_neighbors
+from repro.util.rng import make_rng
+
+__all__ = ["local_clustering_csr", "clustering_coefficients", "average_clustering_csr"]
+
+
+def clustering_coefficients(csr: CSRGraph, positions: np.ndarray) -> np.ndarray:
+    """Local clustering coefficient for each position, in the given order."""
+    indptr, indices = csr.indptr, csr.indices
+    mask = np.zeros(csr.num_nodes, dtype=bool)
+    out = np.empty(positions.size, dtype=np.float64)
+    degrees = csr.degrees
+    for i, position in enumerate(positions):
+        p = int(position)
+        k = int(degrees[p])
+        if k < 2:
+            out[i] = 0.0
+            continue
+        neighborhood = indices[indptr[p] : indptr[p + 1]]
+        mask[neighborhood] = True
+        two_links = int(mask[gather_neighbors(indptr, indices, neighborhood)].sum())
+        mask[neighborhood] = False
+        out[i] = 2.0 * (two_links // 2) / (k * (k - 1))
+    return out
+
+
+def local_clustering_csr(csr: CSRGraph, node: int) -> float:
+    """Clustering coefficient of one node id (0.0 when degree < 2)."""
+    positions = csr.positions_of(np.array([node], dtype=np.int64))
+    return float(clustering_coefficients(csr, positions)[0])
+
+
+def average_clustering_csr(
+    csr: CSRGraph,
+    sample_size: int | None,
+    rng: int | np.random.Generator | None,
+) -> float:
+    """CSR twin of :func:`repro.metrics.clustering.average_clustering`.
+
+    Mirrors the reference exactly: same sorted sampling pool, same
+    ``rng.choice`` draw, same evaluation order, same ``np.mean``.
+    """
+    n = csr.num_nodes
+    if n == 0:
+        return float("nan")
+    if sample_size is not None and sample_size < n:
+        pool = np.sort(csr.node_ids)
+        sampled = make_rng(rng).choice(pool, size=sample_size, replace=False)
+        positions = csr.positions_of(sampled)
+    else:
+        positions = np.arange(n, dtype=np.int64)
+    return float(np.mean(clustering_coefficients(csr, positions)))

@@ -1,0 +1,117 @@
+"""A compact CSR view of a snapshot, shared by every numpy kernel.
+
+:class:`CSRGraph` freezes a :class:`~repro.graph.snapshot.GraphSnapshot`
+into three int64 arrays — ``node_ids`` (position → node id, adjacency
+insertion order), ``indptr`` (row pointers), ``indices`` (neighbor
+*positions*, sorted within each row).  Working in position space makes
+every downstream kernel a chain of fancy-indexing operations; the sorted
+rows are what the merge-intersection clustering kernels rely on.
+
+Positions preserve the snapshot's insertion order because the Louvain
+reference implementation visits nodes in dict order: a kernel that
+re-ordered nodes would permute the RNG-shuffled visit sequence and break
+bit-for-bit parity with the Python backend.
+
+Construction reuses :class:`~repro.graph.checkpoint.CSRAdjacency` (the
+replay checkpoint encoding), so a worker that just restored a checkpoint
+can build the kernel view without round-tripping through Python sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.graph.checkpoint import CSRAdjacency
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["CSRGraph", "gather_neighbors"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Snapshot frozen as CSR arrays over compact node positions.
+
+    ``node_ids[p]`` is the id of the node at position ``p`` (insertion
+    order); its neighbors are ``indices[indptr[p]:indptr[p + 1]]``, as
+    positions, ascending.  ``indices`` holds both directions of every
+    edge, so ``indices.size == 2 * num_edges``.
+    """
+
+    node_ids: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_edges: int
+
+    @classmethod
+    def from_snapshot(cls, graph: GraphSnapshot) -> "CSRGraph":
+        """Freeze ``graph`` (via the checkpoint CSR encoding)."""
+        return cls.from_adjacency(CSRAdjacency.from_snapshot(graph))
+
+    @classmethod
+    def from_adjacency(cls, adjacency: CSRAdjacency) -> "CSRGraph":
+        """Re-index a checkpoint :class:`CSRAdjacency` into position space."""
+        node_ids = adjacency.node_ids
+        n = int(node_ids.size)
+        if adjacency.neighbors.size:
+            id_order = np.argsort(node_ids, kind="stable")
+            positions = id_order[np.searchsorted(node_ids[id_order], adjacency.neighbors)]
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(adjacency.indptr))
+            indices = positions[np.lexsort((positions, rows))]
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return cls(
+            node_ids=node_ids,
+            indptr=adjacency.indptr,
+            indices=indices,
+            num_edges=adjacency.num_edges,
+        )
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return int(self.node_ids.size)
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Degree per position (``np.diff(indptr)``)."""
+        return np.diff(self.indptr)
+
+    @cached_property
+    def _id_order(self) -> np.ndarray:
+        return np.argsort(self.node_ids, kind="stable")
+
+    @cached_property
+    def _sorted_ids(self) -> np.ndarray:
+        return self.node_ids[self._id_order]
+
+    def positions_of(self, ids: np.ndarray) -> np.ndarray:
+        """Positions of the given node ids (ids must exist in the graph)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        return self._id_order[np.searchsorted(self._sorted_ids, ids)]
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbor positions of every position in ``frontier``.
+
+    The vectorized multi-slice gather every traversal kernel is built on:
+    equivalent to ``np.concatenate([indices[indptr[p]:indptr[p+1]] for p
+    in frontier])`` without the per-row Python loop.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
+    return indices[flat]

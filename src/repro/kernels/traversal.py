@@ -1,0 +1,151 @@
+"""Frontier-array BFS kernels: components and sampled path lengths.
+
+The reference implementations walk Python dicts one neighbor at a time;
+these kernels advance a whole BFS frontier per step with fancy indexing,
+so each level costs a handful of numpy calls over int64 arrays.  All
+accumulation is integer arithmetic, so results are exactly equal to the
+reference — no float tolerance needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.csr import CSRGraph, gather_neighbors
+
+__all__ = [
+    "component_labels",
+    "connected_components_csr",
+    "largest_component_csr",
+    "bfs_distance_sum",
+    "average_path_length_csr",
+]
+
+
+def component_labels(csr: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Connected-component label per position plus per-label sizes.
+
+    Labels are assigned in discovery order scanning positions 0..n-1, so
+    label k is the component of the k-th new root in insertion order
+    (mirroring the reference traversal).
+    """
+    n = csr.num_nodes
+    labels = np.full(n, -1, dtype=np.int64)
+    sizes: list[int] = []
+    indptr, indices = csr.indptr, csr.indices
+    scratch = np.zeros(n, dtype=bool)
+    for root in range(n):
+        if labels[root] >= 0:
+            continue
+        label = len(sizes)
+        labels[root] = label
+        frontier = np.array([root], dtype=np.int64)
+        size = 1
+        while frontier.size:
+            neighbors = gather_neighbors(indptr, indices, frontier)
+            neighbors = neighbors[labels[neighbors] < 0]
+            if neighbors.size == 0:
+                break
+            # Dedup through a boolean scratch instead of np.unique: marking
+            # is O(neighbors) and flatnonzero is O(n), vs an O(m log m) sort.
+            scratch[neighbors] = True
+            frontier = np.flatnonzero(scratch)
+            scratch[frontier] = False
+            labels[frontier] = label
+            size += int(frontier.size)
+        sizes.append(size)
+    return labels, np.asarray(sizes, dtype=np.int64)
+
+
+def connected_components_csr(csr: CSRGraph) -> list[set[int]]:
+    """All components as node-id sets, largest first, ties by smallest member id."""
+    if csr.num_nodes == 0:
+        return []
+    labels, sizes = component_labels(csr)
+    order = np.argsort(labels, kind="stable")
+    boundaries = np.cumsum(sizes)[:-1]
+    components = [
+        set(ids.tolist()) for ids in np.split(csr.node_ids[order], boundaries)
+    ]
+    components.sort(key=lambda c: (-len(c), min(c)))
+    return components
+
+
+def largest_component_csr(csr: CSRGraph) -> np.ndarray:
+    """Sorted node ids of the largest component (ties: smallest member id).
+
+    Returns an empty array for an empty graph.  The sorted-id convention
+    matches the sampling-pool convention in :mod:`repro.metrics.paths`.
+    """
+    if csr.num_nodes == 0:
+        return np.empty(0, dtype=np.int64)
+    labels, sizes = component_labels(csr)
+    best = sizes.max()
+    candidates = np.flatnonzero(sizes == best)
+    if candidates.size == 1:
+        winner = int(candidates[0])
+    else:
+        min_ids = np.full(sizes.size, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(min_ids, labels, csr.node_ids)
+        winner = int(candidates[np.argmin(min_ids[candidates])])
+    members = csr.node_ids[labels == winner]
+    members.sort()
+    return members
+
+
+def bfs_distance_sum(csr: CSRGraph, source: int) -> tuple[int, int]:
+    """``(sum of hop distances, number of reached nodes)`` from position ``source``.
+
+    The source itself is excluded from both, matching the path-length
+    reference's ``node != source`` filter.
+    """
+    indptr, indices = csr.indptr, csr.indices
+    unvisited = np.ones(csr.num_nodes, dtype=bool)
+    unvisited[source] = False
+    scratch = np.zeros(csr.num_nodes, dtype=bool)
+    frontier = np.array([source], dtype=np.int64)
+    total = 0
+    count = 0
+    depth = 0
+    while frontier.size:
+        depth += 1
+        neighbors = gather_neighbors(indptr, indices, frontier)
+        # Dedup-and-filter through boolean masks instead of np.unique:
+        # scatter-mark every neighbor, intersect in place with the
+        # unvisited mask, and read the next frontier off the scratch —
+        # O(m + n) per level vs an O(m log m) sort, frontier still sorted.
+        scratch[neighbors] = True
+        np.logical_and(scratch, unvisited, out=scratch)
+        frontier = np.flatnonzero(scratch)
+        scratch[frontier] = False
+        unvisited[frontier] = False
+        total += depth * int(frontier.size)
+        count += int(frontier.size)
+    return total, count
+
+
+def average_path_length_csr(
+    csr: CSRGraph,
+    sample_size: int,
+    rng: np.random.Generator,
+) -> float:
+    """CSR twin of :func:`repro.metrics.paths.average_path_length_sampled`.
+
+    Draws the same sources (same sorted pool, same ``rng.choice`` call) and
+    accumulates the same integer sums, so the returned float is identical.
+    """
+    members = largest_component_csr(csr)
+    if members.size < 2:
+        return float("nan")
+    k = min(sample_size, int(members.size))
+    sources = rng.choice(members, size=k, replace=False)
+    positions = csr.positions_of(sources)
+    total = 0
+    count = 0
+    for position in positions:
+        t, c = bfs_distance_sum(csr, int(position))
+        total += t
+        count += c
+    if count == 0:
+        return float("nan")
+    return total / count

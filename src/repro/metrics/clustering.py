@@ -4,6 +4,15 @@ Local clustering of a node is the fraction of existing edges among its
 neighbors over the maximum possible; the network metric is the mean over
 all nodes (degree < 2 nodes contribute 0, matching the networkx
 convention the community uses as reference).
+
+Kernel-enabled: ``backend="csr"`` (the ``"auto"`` default) counts
+neighbor-neighbor intersections against a boolean membership mask instead
+of probing ``k^2`` Python set pairs.  Counts are exact integers, so both
+backends return identical floats.
+
+Sampling draws from the *sorted* node pool (not dict insertion order), so
+restored and parallel replays — which rebuild adjacency in a different
+insertion order — sample exactly the same nodes as a serial run.
 """
 
 from __future__ import annotations
@@ -11,13 +20,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.snapshot import GraphSnapshot
+from repro.kernels.backend import resolve_backend
+from repro.kernels.clustering import average_clustering_csr, local_clustering_csr
+from repro.kernels.csr import CSRGraph
 from repro.util.rng import make_rng
 
 __all__ = ["local_clustering", "average_clustering"]
 
 
-def local_clustering(graph: GraphSnapshot, node: int) -> float:
+def local_clustering(
+    graph: GraphSnapshot,
+    node: int,
+    *,
+    backend: str = "auto",
+    csr: CSRGraph | None = None,
+) -> float:
     """Clustering coefficient of one node (0.0 when degree < 2)."""
+    if resolve_backend(backend) == "csr":
+        if csr is None:
+            csr = CSRGraph.from_snapshot(graph)
+        return local_clustering_csr(csr, node)
     neighbors = graph.adjacency[node]
     k = len(neighbors)
     if k < 2:
@@ -37,17 +59,29 @@ def average_clustering(
     graph: GraphSnapshot,
     sample_size: int | None = None,
     rng: int | np.random.Generator | None = None,
+    *,
+    backend: str = "auto",
+    csr: CSRGraph | None = None,
 ) -> float:
     """Mean local clustering over all nodes (or a uniform sample).
 
     ``sample_size`` bounds the work on large snapshots; ``None`` computes
     the exact average.  Returns ``nan`` for an empty graph.
     """
+    if resolve_backend(backend) == "csr":
+        if csr is None:
+            csr = CSRGraph.from_snapshot(graph)
+        return average_clustering_csr(csr, sample_size, rng)
     if graph.num_nodes == 0:
         return float("nan")
     nodes = list(graph.nodes())
     if sample_size is not None and sample_size < len(nodes):
+        # Sorted pool, same convention as paths.py: sampling must not
+        # depend on adjacency insertion order.
+        pool = np.fromiter(graph.nodes(), dtype=np.int64, count=len(nodes))
+        pool.sort()
         generator = make_rng(rng)
-        idx = generator.choice(len(nodes), size=sample_size, replace=False)
-        nodes = [nodes[i] for i in idx]
-    return float(np.mean([local_clustering(graph, n) for n in nodes]))
+        nodes = generator.choice(pool, size=sample_size, replace=False).tolist()
+    return float(
+        np.mean([local_clustering(graph, n, backend="python") for n in nodes])
+    )

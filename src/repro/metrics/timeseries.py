@@ -35,10 +35,17 @@ MetricFn = Callable[[GraphSnapshot], float]
 
 @dataclass
 class MetricTimeseries:
-    """Sampled times and one value series per metric name."""
+    """Sampled times and one value series per metric name.
+
+    ``profile`` is optional run metadata attached by the runtime layer
+    (resolved backend, per-metric wall-clock seconds per snapshot, cache
+    hit/miss counts).  It describes how the numbers were produced, never
+    what they are, so it is excluded from equality.
+    """
 
     times: list[float] = field(default_factory=list)
     values: dict[str, list[float]] = field(default_factory=dict)
+    profile: dict | None = field(default=None, compare=False, repr=False)
 
     def as_arrays(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         """The series as numpy arrays ``(times, {name: values})``."""

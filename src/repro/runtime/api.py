@@ -39,8 +39,33 @@ def compute_timeseries(
         key = cache.key(stream_digest(stream), spec, interval, start)
         hit = cache.load(key)
         if hit is not None:
+            hit.profile = _profile(spec, workers, hit.profile, cache)
             return hit
     series = evaluate_timeseries(stream, spec, interval=interval, start=start, workers=workers)
     if cache is not None and key is not None:
         cache.store(key, series)
+    series.profile = _profile(spec, workers, series.profile, cache)
     return series
+
+
+def _profile(
+    spec: MetricSpec,
+    workers: int,
+    base: dict | None,
+    cache: ResultCache | None,
+) -> dict:
+    """Run metadata for :attr:`MetricTimeseries.profile`.
+
+    A cache hit carries no timings (nothing was evaluated), so
+    ``metric_seconds`` maps every metric to an empty list in that case.
+    """
+    from repro.kernels.backend import resolve_backend
+
+    profile = base if base is not None else {
+        "backend": resolve_backend(spec.backend),
+        "workers": workers,
+        "metric_seconds": {name: [] for name in spec.names},
+    }
+    profile["cache_hits"] = cache.hits if cache is not None else 0
+    profile["cache_misses"] = cache.misses if cache is not None else 0
+    return profile

@@ -59,10 +59,16 @@ def stream_digest(stream: EventStream) -> str:
 
 
 class ResultCache:
-    """A directory of ``<key>.npz`` metric-timeseries entries."""
+    """A directory of ``<key>.npz`` metric-timeseries entries.
+
+    ``hits`` and ``misses`` count :meth:`load` outcomes over the cache
+    object's lifetime, feeding the runtime's ``--profile`` report.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
 
     def key(
         self,
@@ -96,6 +102,7 @@ class ResultCache:
         """
         path = self.path(key)
         if not path.exists():
+            self.misses += 1
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -103,7 +110,9 @@ class ResultCache:
                 times = data["times"]
                 values = data["values"]
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            self.misses += 1
             return None
+        self.hits += 1
         return MetricTimeseries(
             times=times.tolist(),
             values={name: values[i].tolist() for i, name in enumerate(names)},

@@ -14,18 +14,22 @@ from __future__ import annotations
 import bisect
 import contextlib
 import multiprocessing
+import time as time_module
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.graph.checkpoint import ReplayCheckpoint
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.events import EventStream
+from repro.kernels.backend import resolve_backend
+from repro.kernels.csr import CSRGraph
 from repro.metrics.timeseries import MetricTimeseries
 from repro.runtime.spec import MetricSpec, snapshot_times
 
 __all__ = ["evaluate_timeseries"]
 
-# One row per non-empty snapshot: (grid index, time, values in spec.names order).
-Row = tuple[int, float, list[float]]
+# One row per non-empty snapshot: (grid index, time, values in spec.names
+# order, per-metric wall-clock seconds in the same order).
+Row = tuple[int, float, list[float], list[float]]
 
 # Worker-process globals.  Under fork they are set in the parent right
 # before the pool starts and inherited copy-on-write — the multi-megabyte
@@ -51,14 +55,26 @@ def _evaluate_rows(
     Empty snapshots are skipped (matching the serial driver); the RNG for
     each snapshot is keyed by its *grid* index, so skipping never shifts
     downstream randomness.
+
+    Under the csr backend, the snapshot is converted to CSR once and the
+    one :class:`~repro.kernels.csr.CSRGraph` is shared by every metric —
+    the conversion cost amortizes across the suite.
     """
+    use_csr = resolve_backend(spec.backend) == "csr"
     rows: list[Row] = []
     for index, time in indexed_times:
         view = replay.advance_to(time)
         if view.graph.num_nodes == 0:
             continue
+        csr = CSRGraph.from_snapshot(view.graph) if use_csr else None
         fns = spec.build(index)
-        rows.append((index, time, [fns[name](view.graph) for name in spec.names]))
+        values: list[float] = []
+        seconds: list[float] = []
+        for name in spec.names:
+            began = time_module.perf_counter()
+            values.append(fns[name](view.graph, csr))
+            seconds.append(time_module.perf_counter() - began)
+        rows.append((index, time, values, seconds))
     return rows
 
 
@@ -138,10 +154,17 @@ def evaluate_timeseries(
     else:
         rows = _evaluate_parallel(stream, spec, indexed, workers)
     series = MetricTimeseries(values={name: [] for name in spec.names})
-    for _, time, values in sorted(rows):
+    metric_seconds: dict[str, list[float]] = {name: [] for name in spec.names}
+    for _, time, values, seconds in sorted(rows):
         series.times.append(time)
-        for name, value in zip(spec.names, values):
+        for name, value, spent in zip(spec.names, values, seconds):
             series.values[name].append(value)
+            metric_seconds[name].append(spent)
+    series.profile = {
+        "backend": resolve_backend(spec.backend),
+        "workers": workers,
+        "metric_seconds": metric_seconds,
+    }
     return series
 
 

@@ -16,18 +16,26 @@ import hashlib
 import json
 from collections.abc import Callable
 from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.graph.snapshot import GraphSnapshot
+from repro.kernels.backend import BACKENDS
 from repro.metrics.assortativity import degree_assortativity
 from repro.metrics.clustering import average_clustering
 from repro.metrics.degree import average_degree
 from repro.metrics.paths import average_path_length_sampled
 
+if TYPE_CHECKING:
+    from repro.kernels.csr import CSRGraph
+
 __all__ = ["MetricSpec", "STANDARD_METRIC_NAMES", "snapshot_times"]
 
-MetricFn = Callable[[GraphSnapshot], float]
+# Metric callables take the snapshot plus an optional prebuilt CSRGraph of
+# the same snapshot; the runtime builds one per snapshot and shares it
+# across the whole suite.
+MetricFn = Callable[[GraphSnapshot, "CSRGraph | None"], float]
 
 STANDARD_METRIC_NAMES = (
     "average_degree",
@@ -37,14 +45,20 @@ STANDARD_METRIC_NAMES = (
 )
 
 _FACTORIES: dict[str, Callable[["MetricSpec", np.random.Generator], MetricFn]] = {
-    "average_degree": lambda spec, rng: average_degree,
+    "average_degree": lambda spec, rng: (lambda g, csr=None: average_degree(g)),
     "average_path_length": lambda spec, rng: (
-        lambda g: average_path_length_sampled(g, spec.path_sample, rng)
+        lambda g, csr=None: average_path_length_sampled(
+            g, spec.path_sample, rng, backend=spec.backend, csr=csr
+        )
     ),
     "average_clustering": lambda spec, rng: (
-        lambda g: average_clustering(g, spec.clustering_sample, rng)
+        lambda g, csr=None: average_clustering(
+            g, spec.clustering_sample, rng, backend=spec.backend, csr=csr
+        )
     ),
-    "assortativity": lambda spec, rng: degree_assortativity,
+    "assortativity": lambda spec, rng: (
+        lambda g, csr=None: degree_assortativity(g, backend=spec.backend, csr=csr)
+    ),
 }
 
 
@@ -56,18 +70,25 @@ class MetricSpec:
     ``clustering_sample`` are the paper's tractability knobs (§2).  The
     spec, not a generator object, crosses process boundaries — workers call
     :meth:`build` locally.
+
+    ``backend`` selects the kernel implementation (see
+    :mod:`repro.kernels.backend`); it never participates in cache keys
+    because every backend produces bit-identical results.
     """
 
     names: tuple[str, ...] = STANDARD_METRIC_NAMES
     path_sample: int = 400
     clustering_sample: int | None = 1500
     seed: int = 0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "names", tuple(self.names))
         unknown = [name for name in self.names if name not in _FACTORIES]
         if unknown:
             raise ValueError(f"unknown metrics {unknown}; available: {sorted(_FACTORIES)}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
 
     def build(self, snapshot_index: int) -> dict[str, MetricFn]:
         """Metric callables for the snapshot at ``snapshot_index``.
@@ -80,8 +101,15 @@ class MetricSpec:
         return {name: _FACTORIES[name](self, rng) for name in self.names}
 
     def fingerprint(self) -> str:
-        """A stable hex digest of the spec, for cache keys."""
-        payload = json.dumps(asdict(self), sort_keys=True, default=list)
+        """A stable hex digest of the spec, for cache keys.
+
+        The backend is excluded: backends are bit-identical by contract
+        (enforced by the parity suite), so runs under either backend share
+        cache entries.
+        """
+        fields = asdict(self)
+        del fields["backend"]
+        payload = json.dumps(fields, sort_keys=True, default=list)
         return hashlib.sha256(payload.encode()).hexdigest()
 
 

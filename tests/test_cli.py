@@ -72,3 +72,62 @@ class TestCommands:
         args = ["experiment", "F99", "--preset", "tiny", "--nodes", "100", "--days", "20"]
         assert main(args) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestProfileAndBackend:
+    def test_metrics_profile_table(self, trace_path, capsys):
+        args = ["metrics", trace_path, "--interval", "30", "--path-sample", "30", "--profile"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "backend: csr" in out
+        assert "cache: 0 hit(s) / 0 miss(es)" in out
+        assert "mean ms" in out
+
+    def test_metrics_profile_counts_cache_hits(self, trace_path, tmp_path, capsys):
+        args = [
+            "metrics", trace_path, "--interval", "30", "--path-sample", "30",
+            "--profile", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        assert "cache: 0 hit(s) / 1 miss(es)" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache: 1 hit(s) / 0 miss(es)" in capsys.readouterr().out
+
+    def test_metrics_json_includes_profile(self, trace_path, capsys):
+        import json
+
+        args = [
+            "metrics", trace_path, "--interval", "30", "--path-sample", "30",
+            "--json", "--profile", "--backend", "python",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"times", "values", "profile"}
+        assert payload["profile"]["backend"] == "python"
+        assert len(payload["times"]) > 0
+        seconds = payload["profile"]["metric_seconds"]["average_path_length"]
+        assert len(seconds) == len(payload["times"])
+
+    def test_backend_flag_does_not_change_values(self, trace_path, capsys):
+        base = ["metrics", trace_path, "--interval", "30", "--path-sample", "30"]
+        assert main(base + ["--backend", "python"]) == 0
+        py_out = capsys.readouterr().out
+        assert main(base + ["--backend", "csr"]) == 0
+        assert capsys.readouterr().out == py_out
+
+    def test_communities_backend_flag(self, trace_path, capsys):
+        assert main(["communities", trace_path, "--interval", "20", "--backend", "python"]) == 0
+        py_out = capsys.readouterr().out
+        assert "modularity" in py_out
+        assert main(["communities", trace_path, "--interval", "20", "--backend", "csr"]) == 0
+        assert capsys.readouterr().out == py_out
+
+    def test_experiment_profile(self, capsys):
+        code = main([
+            "experiment", "F1d", "--preset", "tiny",
+            "--seed", "3", "--nodes", "300", "--days", "40", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend:" in out
+        assert "mean ms" in out

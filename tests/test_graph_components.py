@@ -33,6 +33,19 @@ class TestComponents:
         assert connected_components(GraphSnapshot()) == []
         assert largest_component(GraphSnapshot()) == set()
 
+    @pytest.mark.parametrize("backend", ["python", "csr"])
+    def test_largest_component_tie_breaks_by_smallest_member(self, backend):
+        # Two size-3 components; insertion order puts the higher-id one
+        # first, so traversal order alone would pick {10, 11, 12}.
+        g = GraphSnapshot.from_edges([(10, 11), (11, 12), (4, 5), (5, 6)])
+        assert largest_component(g, backend=backend) == {4, 5, 6}
+
+    @pytest.mark.parametrize("backend", ["python", "csr"])
+    def test_component_order_deterministic_under_ties(self, backend):
+        g = GraphSnapshot.from_edges([(10, 11), (4, 5), (8, 9), (0, 1)])
+        comps = connected_components(g, backend=backend)
+        assert comps == [{0, 1}, {4, 5}, {8, 9}, {10, 11}]
+
 
 class TestBfsDistances:
     def test_path_graph(self, path_graph):
