@@ -8,6 +8,7 @@
     python -m repro communities trace.tsv --delta 0.04
     python -m repro experiment F3c --preset small --seed 7
     python -m repro experiment all --preset tiny_merge
+    python -m repro lint --format json
 
 Installed as the ``repro`` console script.
 """
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preset_args(exp)
     _add_runtime_args(exp)
     _add_profile_arg(exp)
+
+    from repro.devtools.lint import configure_parser as _configure_lint_parser
+
+    lint = sub.add_parser(
+        "lint", help="static determinism & layering analysis of the repro tree"
+    )
+    _configure_lint_parser(lint)
 
     return parser
 
@@ -238,6 +246,12 @@ def _cmd_communities(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import AnalysisContext, list_experiments, run_experiment
 
@@ -271,13 +285,21 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "communities": _cmd_communities,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.  Point
+        # stdout at devnull so interpreter shutdown doesn't re-raise on
+        # the final flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ same API and δ semantics, bit-identical for identical RNG draws.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable, Mapping
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -34,15 +34,21 @@ import numpy as np
 from repro.community.modularity import modularity, partition_communities
 from repro.graph.snapshot import GraphSnapshot
 from repro.kernels.backend import resolve_backend
+from repro.kernels.louvain import (
+    MAX_LEVELS as _MAX_LEVELS,
+)
+from repro.kernels.louvain import (
+    MAX_PASSES_PER_LEVEL as _MAX_PASSES_PER_LEVEL,
+)
+from repro.kernels.louvain import (
+    initial_assignment as _initial_assignment,
+)
 from repro.util.rng import make_rng
 
 if TYPE_CHECKING:
     from repro.kernels.csr import CSRGraph
 
 __all__ = ["louvain", "LouvainResult"]
-
-_MAX_PASSES_PER_LEVEL = 32
-_MAX_LEVELS = 32
 
 
 @dataclass(frozen=True)
@@ -125,39 +131,8 @@ def louvain(
 
 
 # -- internals -------------------------------------------------------------
-
-
-def _initial_assignment(
-    nodes: Iterable[int],
-    seed_partition: Mapping[int, int] | None,
-) -> dict[int, int]:
-    """Initial node → label map over ``nodes`` (any iterable of node ids).
-
-    Shared with the csr kernel, which passes the CSR position order (equal
-    to adjacency insertion order) so both backends start identically.
-    """
-    if seed_partition is None:
-        return {u: u for u in nodes}
-    nodes = list(nodes)
-    # Map seed labels into a fresh label space to avoid collisions with
-    # singleton labels for unseen nodes (which use the node ids themselves,
-    # offset to a disjoint range).
-    label_map: dict[int, int] = {}
-    assignment: dict[int, int] = {}
-    next_label = 0
-    for u in nodes:
-        seed_label = seed_partition.get(u)
-        if seed_label is None:
-            continue
-        if seed_label not in label_map:
-            label_map[seed_label] = next_label
-            next_label += 1
-        assignment[u] = label_map[seed_label]
-    for u in nodes:
-        if u not in assignment:
-            assignment[u] = next_label
-            next_label += 1
-    return assignment
+# (_initial_assignment and the level/pass caps live in repro.kernels.louvain,
+# shared with the csr kernel so both backends start and stop identically.)
 
 
 def _weighted_degree(adj_u: dict[int, float], u: int) -> float:

@@ -32,7 +32,7 @@ def top_k_coverage(snapshot: TrackedSnapshot, total_nodes: int, k: int = 5) -> l
     if total_nodes <= 0:
         raise ValueError("total_nodes must be positive")
     sizes = sorted((state.size for state in snapshot.states.values()), reverse=True)
-    sizes = sizes[:k] + [0] * max(0, k - len(sizes))
+    sizes = [*sizes[:k], *([0] * max(0, k - len(sizes)))]
     return [s / total_nodes for s in sizes]
 
 

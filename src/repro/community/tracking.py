@@ -436,8 +436,12 @@ def _community_edge_stats(graph: GraphSnapshot, members: Iterable[int]) -> tuple
     member_set = set(members)
     internal2 = 0
     degree_sum = 0
-    for node in member_set:
+    # Pure integer counting over both loops: totals are independent of
+    # the sets' iteration order, so sorting would only add cost.
+    for node in member_set:  # repro: noqa[RPL001] -- int counting, order-free
         neighbors = graph.adjacency[node]
         degree_sum += len(neighbors)
-        internal2 += sum(1 for nbr in neighbors if nbr in member_set)
+        internal2 += sum(  # repro: noqa[RPL003] -- int sum, order-free
+            1 for nbr in neighbors if nbr in member_set  # repro: noqa[RPL001] -- int count
+        )
     return internal2 // 2, degree_sum

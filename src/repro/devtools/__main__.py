@@ -1,0 +1,6 @@
+"""``python -m repro.devtools`` — alias for the lint CLI."""
+
+from repro.devtools.lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Warn-only baselines: land a new rule before the tree is clean.
+
+A baseline file is JSON: a list of ``{rule, path, message}`` records
+(line numbers are excluded so unrelated edits don't invalidate entries).
+Findings matching a record are demoted from ``error`` to ``baselined`` —
+reported, but not failing the build.  Matching is multiset-aware: two
+identical findings need two baseline entries, so *new* duplicates of a
+baselined problem still fail.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.devtools.diagnostics import Diagnostic
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+
+def _key(record: dict[str, str]) -> tuple[str, str, str]:
+    return (record["rule"], record["path"], record["message"])
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Parse a baseline file into a multiset of finding identities."""
+    records = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(records, list):
+        raise ValueError(f"baseline {path} must be a JSON list of records")
+    return Counter(_key(record) for record in records)
+
+
+def write_baseline(path: Path, diagnostics: list[Diagnostic]) -> int:
+    """Write every *error* finding as a baseline record; returns the count."""
+    records = [d.baseline_key() for d in diagnostics if d.status == "error"]
+    path.write_text(
+        json.dumps(records, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(records)
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: Counter[tuple[str, str, str]]
+) -> list[Diagnostic]:
+    """Demote baselined errors; non-error findings pass through unchanged."""
+    remaining = Counter(baseline)
+    result: list[Diagnostic] = []
+    for diag in diagnostics:
+        key = (diag.rule, diag.path, diag.message)
+        if diag.status == "error" and remaining[key] > 0:
+            remaining[key] -= 1
+            result.append(
+                Diagnostic(
+                    diag.path, diag.line, diag.col, diag.rule, diag.message,
+                    status="baselined",
+                )
+            )
+        else:
+            result.append(diag)
+    return result

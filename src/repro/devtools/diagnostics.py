@@ -1,0 +1,94 @@
+"""Diagnostic records and their human/JSON renderings.
+
+A :class:`Diagnostic` is one finding anchored to ``path:line:col``.  Its
+``status`` decides whether it fails the build:
+
+* ``"error"`` — counts toward a non-zero exit;
+* ``"suppressed"`` — matched by a justified ``# repro: noqa[...]``;
+* ``"baselined"`` — matched an entry in a ``--baseline`` file (warn-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Diagnostic", "format_human", "format_json_payload"]
+
+_STATUSES = ("error", "suppressed", "baselined")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: rule code, anchor, message, and suppression state."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    status: str = field(default="error", compare=False)
+    justification: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ValueError(f"unknown status {self.status!r}; expected one of {_STATUSES}")
+
+    @property
+    def location(self) -> str:
+        """The clickable ``path:line:col`` anchor."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_key(self) -> dict[str, str]:
+        """The identity a ``--baseline`` file stores.
+
+        Line numbers are deliberately excluded so a baseline survives
+        unrelated edits above the finding.
+        """
+        return {"rule": self.rule, "path": self.path, "message": self.message}
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serializable view of the diagnostic."""
+        payload: dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "status": self.status,
+        }
+        if self.justification is not None:
+            payload["justification"] = self.justification
+        return payload
+
+
+def format_human(diagnostics: list[Diagnostic], *, show_suppressed: bool = False) -> str:
+    """Render diagnostics as one ``location rule message`` line each.
+
+    Suppressed/baselined findings are hidden unless ``show_suppressed``;
+    the trailing summary line always counts every status.
+    """
+    lines = []
+    errors = sum(1 for d in diagnostics if d.status == "error")
+    suppressed = sum(1 for d in diagnostics if d.status == "suppressed")
+    baselined = sum(1 for d in diagnostics if d.status == "baselined")
+    for diag in diagnostics:
+        if diag.status != "error" and not show_suppressed:
+            continue
+        tag = "" if diag.status == "error" else f" [{diag.status}]"
+        lines.append(f"{diag.location} {diag.rule}{tag} {diag.message}")
+    lines.append(
+        f"{errors} error(s), {suppressed} suppressed, {baselined} baselined"
+    )
+    return "\n".join(lines)
+
+
+def format_json_payload(diagnostics: list[Diagnostic]) -> dict[str, object]:
+    """The ``--format json`` document: diagnostics plus status counts."""
+    return {
+        "diagnostics": [d.to_json() for d in diagnostics],
+        "summary": {
+            "errors": sum(1 for d in diagnostics if d.status == "error"),
+            "suppressed": sum(1 for d in diagnostics if d.status == "suppressed"),
+            "baselined": sum(1 for d in diagnostics if d.status == "baselined"),
+        },
+    }

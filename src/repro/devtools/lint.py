@@ -1,0 +1,137 @@
+"""The lint CLI: ``repro lint`` and ``python -m repro.devtools.lint``.
+
+Exit status is 0 when every finding is suppressed or baselined, 1 when
+unsuppressed errors remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
+from repro.devtools.diagnostics import format_human, format_json_payload
+from repro.devtools.engine import LintResult, Rule, discover_modules, run_rules
+from repro.devtools.rules_determinism import determinism_rules
+from repro.devtools.rules_layering import LayeringRule, render_dot
+
+__all__ = ["all_rules", "configure_parser", "main", "run_from_args", "run_lint"]
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, determinism first, then layering."""
+    return [*determinism_rules(), LayeringRule()]
+
+
+def default_root() -> Path:
+    """The ``repro`` package this installation of devtools lives in."""
+    return Path(__file__).resolve().parent.parent
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the lint arguments to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="CODE",
+        help="only run these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="CODE", default=[],
+        help="skip these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="JSON baseline; matching findings are demoted to warn-only",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write current error findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--dot", metavar="FILE", default=None,
+        help="also write the package import graph as Graphviz DOT",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="list suppressed/baselined findings in human output",
+    )
+    return parser
+
+
+def run_lint(
+    root: Path,
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintResult:
+    """Programmatic entry: lint ``root`` with the full rule set."""
+    modules = discover_modules(root)
+    return run_rules(modules, all_rules(), select=select, ignore=ignore or ())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = configure_parser(
+        argparse.ArgumentParser(
+            prog="repro lint",
+            description="Static determinism & layering analysis for the repro tree.",
+        )
+    )
+    try:
+        return run_from_args(parser.parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.  Point
+        # stdout at devnull so interpreter shutdown doesn't re-raise on
+        # the final flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Run lint from a parsed namespace (shared with the ``repro`` CLI)."""
+    root = Path(args.root) if args.root is not None else default_root()
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+
+    modules = discover_modules(root)
+    result = run_rules(
+        modules, all_rules(), select=args.select, ignore=args.ignore
+    )
+    diagnostics = result.diagnostics
+
+    if args.write_baseline is not None:
+        count = write_baseline(Path(args.write_baseline), diagnostics)
+        print(f"wrote {count} baseline record(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        try:
+            diagnostics = apply_baseline(diagnostics, load_baseline(Path(args.baseline)))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    if args.dot is not None:
+        Path(args.dot).write_text(render_dot(modules), encoding="utf-8")
+
+    if args.format == "json":
+        print(json.dumps(format_json_payload(diagnostics), indent=2))
+    else:
+        print(format_human(diagnostics, show_suppressed=args.show_suppressed))
+
+    return 1 if any(d.status == "error" for d in diagnostics) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

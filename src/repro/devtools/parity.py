@@ -1,0 +1,46 @@
+"""The parity-test manifest backing rule RPL005.
+
+Every function that dispatches on ``backend=`` must either be **covered**
+— mapped here to the parity test that pins its python/csr implementations
+bit-for-bit — or **exempt** with a written reason.  RPL005 flags any
+``backend=``-accepting function in neither table, so a new dispatcher
+cannot land without a parity test (or an argued exemption).
+
+``tests/test_devtools_lint.py`` cross-checks this file: every covered
+entry's test reference must actually occur in the parity suite, so the
+manifest cannot silently rot.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PARITY_COVERED", "PARITY_EXEMPT", "PARITY_TEST_FILE"]
+
+# The test module the coverage references point into.
+PARITY_TEST_FILE = "tests/test_kernels_parity.py"
+
+# Dispatcher qualname -> the parity test function that pins both backends.
+PARITY_COVERED: dict[str, str] = {
+    "repro.community.louvain.louvain": "test_louvain_parity",
+    "repro.community.tracking.track_stream": "test_tracking_parity",
+    "repro.graph.components.connected_components": "test_components_parity",
+    "repro.graph.components.largest_component": "test_largest_component_parity",
+    "repro.metrics.assortativity.degree_assortativity": "test_assortativity_parity",
+    "repro.metrics.clustering.average_clustering": "test_average_clustering_parity",
+    "repro.metrics.clustering.local_clustering": "test_local_clustering_parity",
+    "repro.metrics.paths.average_path_length_sampled": "test_path_length_parity",
+}
+
+# Dispatcher qualname -> why it needs no parity test of its own.
+PARITY_EXEMPT: dict[str, str] = {
+    "repro.analysis.context.AnalysisContext.__init__": (
+        "configuration pass-through; every metric it triggers dispatches "
+        "through a covered function"
+    ),
+    "repro.community.tracking.CommunityTracker.__init__": (
+        "stores the backend for track_stream, whose parity test drives the "
+        "tracker end to end"
+    ),
+    "repro.kernels.backend.resolve_backend": (
+        "the backend resolver itself; has no python/csr twin to compare"
+    ),
+}

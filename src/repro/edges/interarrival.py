@@ -51,7 +51,7 @@ def scaled_age_buckets(days: float, count: int = 4) -> tuple[tuple[str, float, f
     edges.append(float("inf"))
     return tuple(
         (f"Age {lo:g}-{hi:g}d" if np.isfinite(hi) else f"Age {lo:g}d+", lo, hi)
-        for lo, hi in zip(edges[:-1], edges[1:])
+        for lo, hi in zip(edges[:-1], edges[1:], strict=True)
     )
 
 
@@ -90,7 +90,7 @@ def collect_interarrivals_by_age(
     per_bucket: dict[str, list[float]] = {label: [] for label, _, _ in buckets}
     for node, times in node_edge_times(stream).items():
         born = arrival[node]
-        for t0, t1 in zip(times, times[1:]):
+        for t0, t1 in zip(times, times[1:], strict=False):
             gap = t1 - t0
             if gap <= 0:
                 continue

@@ -354,7 +354,7 @@ class RenrenGenerator:
             return
         prim = self.rng.choice(np.array(primary_nodes), size=dup_count, replace=False)
         sec = self.rng.choice(np.array(secondary_nodes), size=dup_count, replace=False)
-        for p, s in zip(prim, sec):
+        for p, s in zip(prim, sec, strict=True):
             keep_primary = self.rng.random() < merge.keep_primary_probability
             self._inactive.add(int(s) if keep_primary else int(p))
 

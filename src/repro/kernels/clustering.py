@@ -18,12 +18,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.csr import CSRGraph, gather_neighbors
+from repro.util.arrays import FloatArray, IntArray
 from repro.util.rng import make_rng
 
 __all__ = ["local_clustering_csr", "clustering_coefficients", "average_clustering_csr"]
 
 
-def clustering_coefficients(csr: CSRGraph, positions: np.ndarray) -> np.ndarray:
+def clustering_coefficients(csr: CSRGraph, positions: IntArray) -> FloatArray:
     """Local clustering coefficient for each position, in the given order."""
     indptr, indices = csr.indptr, csr.indices
     mask = np.zeros(csr.num_nodes, dtype=bool)

@@ -21,11 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.graph.checkpoint import CSRAdjacency
-from repro.graph.snapshot import GraphSnapshot
+from repro.util.arrays import IntArray
+
+if TYPE_CHECKING:
+    from repro.graph.checkpoint import CSRAdjacency
+    from repro.graph.snapshot import GraphSnapshot
 
 __all__ = ["CSRGraph", "gather_neighbors"]
 
@@ -40,14 +44,21 @@ class CSRGraph:
     edge, so ``indices.size == 2 * num_edges``.
     """
 
-    node_ids: np.ndarray
-    indptr: np.ndarray
-    indices: np.ndarray
+    node_ids: IntArray
+    indptr: IntArray
+    indices: IntArray
     num_edges: int
 
     @classmethod
     def from_snapshot(cls, graph: GraphSnapshot) -> "CSRGraph":
-        """Freeze ``graph`` (via the checkpoint CSR encoding)."""
+        """Freeze ``graph`` (via the checkpoint CSR encoding).
+
+        The graph-layer import is deferred: the kernel layer sits below
+        the graph layer in the architecture contract, and this ingestion
+        seam is declared in ``repro.devtools.rules_layering``.
+        """
+        from repro.graph.checkpoint import CSRAdjacency
+
         return cls.from_adjacency(CSRAdjacency.from_snapshot(graph))
 
     @classmethod
@@ -77,19 +88,19 @@ class CSRGraph:
         return int(self.node_ids.size)
 
     @cached_property
-    def degrees(self) -> np.ndarray:
+    def degrees(self) -> IntArray:
         """Degree per position (``np.diff(indptr)``)."""
         return np.diff(self.indptr)
 
     @cached_property
-    def _id_order(self) -> np.ndarray:
+    def _id_order(self) -> IntArray:
         return np.argsort(self.node_ids, kind="stable")
 
     @cached_property
-    def _sorted_ids(self) -> np.ndarray:
+    def _sorted_ids(self) -> IntArray:
         return self.node_ids[self._id_order]
 
-    def positions_of(self, ids: np.ndarray) -> np.ndarray:
+    def positions_of(self, ids: IntArray) -> IntArray:
         """Positions of the given node ids (ids must exist in the graph)."""
         ids = np.asarray(ids, dtype=np.int64)
         return self._id_order[np.searchsorted(self._sorted_ids, ids)]
@@ -99,8 +110,8 @@ class CSRGraph:
 
 
 def gather_neighbors(
-    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
-) -> np.ndarray:
+    indptr: IntArray, indices: IntArray, frontier: IntArray
+) -> IntArray:
     """Concatenated neighbor positions of every position in ``frontier``.
 
     The vectorized multi-slice gather every traversal kernel is built on:

@@ -31,13 +31,55 @@ involved is exact:
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
 from repro.kernels.csr import CSRGraph
+from repro.util.arrays import FloatArray, IntArray
 
-__all__ = ["louvain_csr"]
+__all__ = ["MAX_LEVELS", "MAX_PASSES_PER_LEVEL", "initial_assignment", "louvain_csr"]
+
+# Shared level/pass caps: both backends must stop identically, so the
+# constants live here in the kernel layer and the reference implementation
+# (repro.community.louvain) imports them downward.
+MAX_PASSES_PER_LEVEL = 32
+MAX_LEVELS = 32
+
+
+def initial_assignment(
+    nodes: Iterable[int],
+    seed_partition: Mapping[int, int] | None,
+) -> dict[int, int]:
+    """Initial node → label map over ``nodes`` (any iterable of node ids).
+
+    Shared by both backends: the csr kernel passes the CSR position order
+    (equal to adjacency insertion order) so the two start identically.
+
+    With a ``seed_partition`` (incremental mode), seed labels are mapped
+    into a fresh label space to avoid collisions with singleton labels for
+    unseen nodes (which use the node ids themselves, offset to a disjoint
+    range).
+    """
+    if seed_partition is None:
+        return {u: u for u in nodes}
+    nodes = list(nodes)
+    label_map: dict[int, int] = {}
+    assignment: dict[int, int] = {}
+    next_label = 0
+    for u in nodes:
+        seed_label = seed_partition.get(u)
+        if seed_label is None:
+            continue
+        if seed_label not in label_map:
+            label_map[seed_label] = next_label
+            next_label += 1
+        assignment[u] = label_map[seed_label]
+    for u in nodes:
+        if u not in assignment:
+            assignment[u] = next_label
+            next_label += 1
+    return assignment
 
 
 def louvain_csr(
@@ -51,12 +93,10 @@ def louvain_csr(
     The caller (:func:`repro.community.louvain.louvain`) validates
     arguments and computes the final modularity.
     """
-    from repro.community.louvain import _MAX_LEVELS, _initial_assignment
-
     node_ids = csr.node_ids
     n = csr.num_nodes
     ids_list = node_ids.tolist()
-    initial = _initial_assignment(ids_list, seed_partition)
+    initial = initial_assignment(ids_list, seed_partition)
     node_label = np.fromiter(
         (initial[node] for node in ids_list), dtype=np.int64, count=n
     )
@@ -64,10 +104,10 @@ def louvain_csr(
     indices = csr.indices
     weights = np.ones(indices.size, dtype=np.float64)
     self_w = np.zeros(n, dtype=np.float64)
-    carried: list[np.ndarray] = [np.array([p], dtype=np.int64) for p in range(n)]
+    carried: list[IntArray] = [np.array([p], dtype=np.int64) for p in range(n)]
 
     levels = 0
-    while levels < _MAX_LEVELS:
+    while levels < MAX_LEVELS:
         improved, node_label = _one_level_arrays(
             indptr, indices, weights, self_w, node_label, delta, rng
         )
@@ -87,17 +127,15 @@ def louvain_csr(
 
 
 def _one_level_arrays(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    weights: np.ndarray,
-    self_w: np.ndarray,
-    node_label: np.ndarray,
+    indptr: IntArray,
+    indices: IntArray,
+    weights: FloatArray,
+    self_w: FloatArray,
+    node_label: IntArray,
     delta: float,
     rng: np.random.Generator,
-) -> tuple[bool, np.ndarray]:
+) -> tuple[bool, IntArray]:
     """Local-move phase; returns (made structural progress, new labels)."""
-    from repro.community.louvain import _MAX_PASSES_PER_LEVEL
-
     n = node_label.size
     degrees = np.diff(indptr)
     rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
@@ -119,7 +157,7 @@ def _one_level_arrays(
     comm_l = comm.tolist()
     comm_tot_l = comm_tot.tolist()
     any_move = False
-    for _ in range(_MAX_PASSES_PER_LEVEL):
+    for _ in range(MAX_PASSES_PER_LEVEL):
         pass_gain = 0.0
         for u in order:
             lo = indptr_l[u]
@@ -131,7 +169,7 @@ def _one_level_arrays(
                 continue
             cu = comm_l[u]
             links: dict[int, float] = {}
-            for v, w in zip(indices_l[lo:hi], weights_l[lo:hi]):
+            for v, w in zip(indices_l[lo:hi], weights_l[lo:hi], strict=True):
                 c = comm_l[v]
                 links[c] = links.get(c, 0.0) + w
             if len(links) == 1 and cu in links:
@@ -162,13 +200,13 @@ def _one_level_arrays(
 
 
 def _aggregate_arrays(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    weights: np.ndarray,
-    self_w: np.ndarray,
-    node_label: np.ndarray,
-    carried: list[np.ndarray],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
+    indptr: IntArray,
+    indices: IntArray,
+    weights: FloatArray,
+    self_w: FloatArray,
+    node_label: IntArray,
+    carried: list[IntArray],
+) -> tuple[IntArray, IntArray, FloatArray, FloatArray, IntArray, list[IntArray]]:
     """Condense communities into super-nodes (phase 2).
 
     Super-node positions follow the order in which the reference's
@@ -195,7 +233,7 @@ def _aggregate_arrays(
 
     member_order = np.argsort(node_pos, kind="stable")
     group_sizes = np.bincount(node_pos, minlength=count)
-    new_carried: list[np.ndarray] = []
+    new_carried: list[IntArray] = []
     offset = 0
     for p in range(count):
         group = member_order[offset : offset + int(group_sizes[p])]

@@ -27,7 +27,7 @@ __all__ = ["match_communities_csr"]
 def match_communities_csr(
     raw: Mapping[int, frozenset[int]],
     prev_members: Mapping[int, frozenset[int]],
-) -> tuple[dict[int, tuple[int, float] | None], dict[int, Counter]]:
+) -> tuple[dict[int, tuple[int, float] | None], dict[int, Counter[int]]]:
     """Best parent per new community plus the full overlap contingency.
 
     ``raw`` maps new community labels to member sets; ``prev_members``
@@ -41,7 +41,7 @@ def match_communities_csr(
     """
     labels = list(raw)
     parent: dict[int, tuple[int, float] | None] = {label: None for label in labels}
-    overlaps: dict[int, Counter] = {label: Counter() for label in labels}
+    overlaps: dict[int, Counter[int]] = {label: Counter() for label in labels}
     if not labels or not prev_members:
         return parent, overlaps
 
@@ -85,6 +85,8 @@ def match_communities_csr(
         best = lo + int(np.argmax(similarities[lo:hi]))
         parent[label] = (int(lineages[pair_rank[best]]), float(similarities[best]))
         counter = overlaps[label]
-        for rank, inter in zip(pair_rank[lo:hi].tolist(), pair_counts[lo:hi].tolist()):
+        for rank, inter in zip(
+            pair_rank[lo:hi].tolist(), pair_counts[lo:hi].tolist(), strict=True
+        ):
             counter[int(lineages[rank])] = inter
     return parent, overlaps

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.csr import CSRGraph, gather_neighbors
+from repro.util.arrays import IntArray
 
 __all__ = [
     "component_labels",
@@ -22,7 +23,7 @@ __all__ = [
 ]
 
 
-def component_labels(csr: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+def component_labels(csr: CSRGraph) -> tuple[IntArray, IntArray]:
     """Connected-component label per position plus per-label sizes.
 
     Labels are assigned in discovery order scanning positions 0..n-1, so
@@ -71,7 +72,7 @@ def connected_components_csr(csr: CSRGraph) -> list[set[int]]:
     return components
 
 
-def largest_component_csr(csr: CSRGraph) -> np.ndarray:
+def largest_component_csr(csr: CSRGraph) -> IntArray:
     """Sorted node ids of the largest component (ties: smallest member id).
 
     Returns an empty array for an empty graph.  The sorted-id convention

@@ -46,7 +46,9 @@ def local_clustering(
         return 0.0
     adjacency = graph.adjacency
     links = 0
-    nbrs = list(neighbors)
+    # Triangle counting visits every unordered pair exactly once, so the
+    # count is independent of the enumeration order.
+    nbrs = list(neighbors)  # repro: noqa[RPL001] -- pair count, order-free
     for i, u in enumerate(nbrs):
         u_adj = adjacency[u]
         for v in nbrs[i + 1 :]:

@@ -8,6 +8,7 @@
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any
 
 from repro.graph.events import EventStream
 from repro.metrics.timeseries import MetricTimeseries
@@ -51,9 +52,9 @@ def compute_timeseries(
 def _profile(
     spec: MetricSpec,
     workers: int,
-    base: dict | None,
+    base: dict[str, Any] | None,
     cache: ResultCache | None,
-) -> dict:
+) -> dict[str, Any]:
     """Run metadata for :attr:`MetricTimeseries.profile`.
 
     A cache hit carries no timings (nothing was evaluated), so
@@ -61,7 +62,7 @@ def _profile(
     """
     from repro.kernels.backend import resolve_backend
 
-    profile = base if base is not None else {
+    profile: dict[str, Any] = base if base is not None else {
         "backend": resolve_backend(spec.backend),
         "workers": workers,
         "metric_seconds": {name: [] for name in spec.names},

@@ -15,7 +15,9 @@ import bisect
 import contextlib
 import multiprocessing
 import time as time_module
+from collections.abc import Iterator
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
 from repro.graph.checkpoint import ReplayCheckpoint
 from repro.graph.dynamic import DynamicGraph
@@ -70,10 +72,12 @@ def _evaluate_rows(
         fns = spec.build(index)
         values: list[float] = []
         seconds: list[float] = []
+        # Profiling metadata only: the timings feed --profile and never
+        # influence any computed metric value.
         for name in spec.names:
-            began = time_module.perf_counter()
+            began = time_module.perf_counter()  # repro: noqa[RPL004] -- profile only
             values.append(fns[name](view.graph, csr))
-            seconds.append(time_module.perf_counter() - began)
+            seconds.append(time_module.perf_counter() - began)  # repro: noqa[RPL004] -- profile only
         rows.append((index, time, values, seconds))
     return rows
 
@@ -157,7 +161,7 @@ def evaluate_timeseries(
     metric_seconds: dict[str, list[float]] = {name: [] for name in spec.names}
     for _, time, values, seconds in sorted(rows):
         series.times.append(time)
-        for name, value, spent in zip(spec.names, values, seconds):
+        for name, value, spent in zip(spec.names, values, seconds, strict=True):
             series.values[name].append(value)
             metric_seconds[name].append(spent)
     series.profile = {
@@ -184,8 +188,9 @@ def _evaluate_parallel(
         payloads.append((replay.checkpoint(), [indexed[i] for i in chunk]))
         replay.advance_to(indexed[chunk[-1]][1])
     context = _mp_context()
+    pool_kwargs: dict[str, Any] = {}
+    handoff: contextlib.AbstractContextManager[None]
     if context.get_start_method() == "fork":
-        pool_kwargs = {}
         handoff = _inherited_globals(stream, spec)
     else:
         pool_kwargs = {"initializer": _init_worker, "initargs": (stream, spec)}
@@ -201,7 +206,7 @@ def _evaluate_parallel(
 
 
 @contextlib.contextmanager
-def _inherited_globals(stream: EventStream, spec: MetricSpec):
+def _inherited_globals(stream: EventStream, spec: MetricSpec) -> Iterator[None]:
     """Expose the stream/spec to fork-children via the parent's module state.
 
     Workers are forked lazily on first submit, inside this scope, so they

@@ -1,0 +1,18 @@
+"""Typed numpy array aliases shared across the strictly-typed layers.
+
+``mypy --strict`` rejects bare ``np.ndarray`` annotations
+(``disallow_any_generics``); these aliases name the three element types
+the kernel and runtime layers actually use, so signatures stay short and
+the dtype contract is visible at every boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["BoolArray", "FloatArray", "IntArray"]
+
+IntArray = NDArray[np.int64]
+FloatArray = NDArray[np.float64]
+BoolArray = NDArray[np.bool_]

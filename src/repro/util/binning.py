@@ -12,6 +12,8 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.util.arrays import FloatArray
+
 __all__ = [
     "histogram_counts",
     "log_bins",
@@ -31,7 +33,7 @@ def histogram_counts(values: Iterable[int]) -> dict[int, int]:
     return dict(sorted(counts.items()))
 
 
-def log_bins(min_value: float, max_value: float, bins_per_decade: int = 8) -> np.ndarray:
+def log_bins(min_value: float, max_value: float, bins_per_decade: int = 8) -> FloatArray:
     """Build logarithmically spaced bin edges covering ``[min_value, max_value]``.
 
     Raises :class:`ValueError` if the range is empty or non-positive, since
@@ -49,9 +51,9 @@ def log_bins(min_value: float, max_value: float, bins_per_decade: int = 8) -> np
 
 
 def log_binned_pdf(
-    samples: Sequence[float] | np.ndarray,
+    samples: Sequence[float] | FloatArray,
     bins_per_decade: int = 8,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[FloatArray, FloatArray]:
     """Estimate a PDF of positive samples using logarithmic bins.
 
     Returns ``(bin_centers, density)`` with empty bins dropped.  Density is
@@ -74,7 +76,7 @@ def log_binned_pdf(
     return centers[keep], density[keep]
 
 
-def empirical_cdf(samples: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def empirical_cdf(samples: Sequence[float] | FloatArray) -> tuple[FloatArray, FloatArray]:
     """Return ``(sorted_values, cumulative_fraction)`` for an empirical CDF."""
     data = np.sort(np.asarray(samples, dtype=float))
     if data.size == 0:
@@ -83,7 +85,7 @@ def empirical_cdf(samples: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np
     return data, fractions
 
 
-def cdf_points(samples: Sequence[float] | np.ndarray, at: Sequence[float]) -> np.ndarray:
+def cdf_points(samples: Sequence[float] | FloatArray, at: Sequence[float]) -> FloatArray:
     """Evaluate the empirical CDF of ``samples`` at each threshold in ``at``.
 
     ``cdf_points(x, [t])[0]`` is the fraction of samples ``<= t``.

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.arrays import FloatArray
 from repro.util.rng import make_rng
 
 __all__ = ["BootstrapResult", "bootstrap_ci", "bootstrap_median_ci"]
@@ -36,18 +37,28 @@ class BootstrapResult:
         return f"{self.estimate:.4g} [{self.low:.4g}, {self.high:.4g}] ({pct:.0f}% CI)"
 
 
+def _mean(values: FloatArray) -> float:
+    return float(np.mean(values))
+
+
+def _median(values: FloatArray) -> float:
+    return float(np.median(values))
+
+
 def bootstrap_ci(
-    samples: Sequence[float] | np.ndarray,
-    statistic: Callable[[np.ndarray], float] = np.mean,
+    samples: Sequence[float] | FloatArray,
+    statistic: Callable[[FloatArray], float] | None = None,
     confidence: float = 0.95,
     n_resamples: int = 2000,
     seed: int | np.random.Generator | None = 0,
 ) -> BootstrapResult:
-    """Percentile bootstrap CI for ``statistic`` over ``samples``.
+    """Percentile bootstrap CI for ``statistic`` (default: the mean).
 
     Raises :class:`ValueError` for empty input or a confidence outside
     (0, 1).
     """
+    if statistic is None:
+        statistic = _mean
     data = np.asarray(samples, dtype=float)
     if data.size == 0:
         raise ValueError("cannot bootstrap an empty sample")
@@ -72,13 +83,13 @@ def bootstrap_ci(
 
 
 def bootstrap_median_ci(
-    samples: Sequence[float] | np.ndarray,
+    samples: Sequence[float] | FloatArray,
     confidence: float = 0.95,
     n_resamples: int = 2000,
     seed: int | np.random.Generator | None = 0,
 ) -> BootstrapResult:
     """Shorthand for a median bootstrap CI."""
     return bootstrap_ci(
-        samples, statistic=np.median, confidence=confidence,
+        samples, statistic=_median, confidence=confidence,
         n_resamples=n_resamples, seed=seed,
     )

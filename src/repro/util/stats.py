@@ -10,6 +10,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.util.arrays import FloatArray
+
 __all__ = [
     "pearson_correlation",
     "mean_squared_error",
@@ -65,7 +67,7 @@ def linear_fit_loglog(
         raise ValueError(f"length mismatch: {ax.shape} vs {ay.shape}")
     mask = (ax > 0) & (ay > 0)
     ax, ay = ax[mask], ay[mask]
-    w = None
+    w: FloatArray | None = None
     if weights is not None:
         w = np.asarray(weights, dtype=float)[mask]
     if ax.size < 2:
@@ -76,7 +78,7 @@ def linear_fit_loglog(
     return alpha, c
 
 
-def fit_polynomial(x: Sequence[float], y: Sequence[float], degree: int) -> np.ndarray:
+def fit_polynomial(x: Sequence[float], y: Sequence[float], degree: int) -> FloatArray:
     """Least-squares polynomial fit; returns coefficients, highest power first.
 
     Used to approximate α(t) as a polynomial of the network edge count, as in

@@ -46,7 +46,7 @@ class TestScaledSizeBuckets:
         assert len(buckets) == 4
         assert buckets[0][0] == 10
         assert buckets[-1][1] == float("inf")
-        for (lo1, hi1), (lo2, _) in zip(buckets, buckets[1:]):
+        for (_lo1, hi1), (lo2, _) in zip(buckets, buckets[1:], strict=False):
             assert hi1 == lo2
 
     def test_monotone_in_total(self):

@@ -1,0 +1,462 @@
+"""Tests for the static determinism & layering analyzer (repro.devtools)."""
+
+import json
+from pathlib import Path
+
+from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
+from repro.devtools.engine import discover_modules, run_rules
+from repro.devtools.lint import all_rules, default_root, main, run_lint
+from repro.devtools.parity import PARITY_COVERED, PARITY_EXEMPT, PARITY_TEST_FILE
+from repro.devtools.rules_determinism import (
+    GlobalRNGRule,
+    ParityManifestRule,
+    SetIterationRule,
+    UnorderedAccumulationRule,
+    WallClockRule,
+    determinism_rules,
+)
+from repro.devtools.rules_layering import LayeringRule, render_dot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_tree(tmp_path, files, rules=None, **kwargs):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint the tree."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    modules = discover_modules(tmp_path)
+    return run_rules(modules, rules if rules is not None else all_rules(), **kwargs)
+
+
+def codes(result):
+    return [d.rule for d in result.diagnostics if d.status == "error"]
+
+
+class TestSetIterationRule:
+    def test_for_over_set_literal_flagged(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {"metrics/bad.py": "for x in {3, 1, 2}:\n    print(x)\n"},
+            [SetIterationRule()],
+        )
+        assert codes(result) == ["RPL001"]
+
+    def test_for_over_set_name_flagged(self, tmp_path):
+        src = "s = set([3, 1, 2])\nfor x in s:\n    print(x)\n"
+        result = lint_tree(tmp_path, {"kernels/bad.py": src}, [SetIterationRule()])
+        assert codes(result) == ["RPL001"]
+
+    def test_neighbors_call_flagged(self, tmp_path):
+        src = "def f(g, u):\n    return [v for v in g.neighbors(u)]\n"
+        result = lint_tree(tmp_path, {"graph/bad.py": src}, [SetIterationRule()])
+        assert codes(result) == ["RPL001"]
+
+    def test_adjacency_subscript_flagged(self, tmp_path):
+        src = "def f(g, u):\n    return list(g.adjacency[u])\n"
+        result = lint_tree(tmp_path, {"community/bad.py": src}, [SetIterationRule()])
+        assert codes(result) == ["RPL001"]
+
+    def test_sorted_set_not_flagged(self, tmp_path):
+        src = "s = {3, 1, 2}\nfor x in sorted(s):\n    print(x)\n"
+        result = lint_tree(tmp_path, {"metrics/good.py": src}, [SetIterationRule()])
+        assert codes(result) == []
+
+    def test_dict_iteration_not_flagged(self, tmp_path):
+        # Dict iteration is insertion-ordered; the CSR parity contract
+        # depends on it, so flagging it would be a false positive.
+        src = "d = {1: 2}\nfor k, v in d.items():\n    print(k, v)\n"
+        result = lint_tree(tmp_path, {"metrics/good.py": src}, [SetIterationRule()])
+        assert codes(result) == []
+
+    def test_outside_determinism_packages_not_flagged(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {"analysis/ok.py": "for x in {3, 1, 2}:\n    print(x)\n"},
+            [SetIterationRule()],
+        )
+        assert codes(result) == []
+
+
+class TestGlobalRNGRule:
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        src = "from random import choice\nprint(choice([1]))\n"
+        result = lint_tree(tmp_path, {"gen/bad.py": src}, [GlobalRNGRule()])
+        assert "RPL002" in codes(result)
+
+    def test_stdlib_random_attribute_flagged(self, tmp_path):
+        src = "import random\nx = random.random()\n"
+        result = lint_tree(tmp_path, {"analysis/bad.py": src}, [GlobalRNGRule()])
+        assert codes(result) == ["RPL002"]
+
+    def test_legacy_numpy_random_flagged(self, tmp_path):
+        src = "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(3)\n"
+        result = lint_tree(tmp_path, {"metrics/bad.py": src}, [GlobalRNGRule()])
+        assert codes(result) == ["RPL002", "RPL002"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        result = lint_tree(tmp_path, {"metrics/bad.py": src}, [GlobalRNGRule()])
+        assert codes(result) == ["RPL002"]
+
+    def test_seeded_generator_not_flagged(self, tmp_path):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\nx = rng.random()\n"
+        result = lint_tree(tmp_path, {"metrics/good.py": src}, [GlobalRNGRule()])
+        assert codes(result) == []
+
+
+class TestUnorderedAccumulationRule:
+    def test_sum_over_set_flagged(self, tmp_path):
+        src = "s = {1.5, 2.5}\ntotal = sum(s)\n"
+        result = lint_tree(tmp_path, {"metrics/bad.py": src}, [UnorderedAccumulationRule()])
+        assert codes(result) == ["RPL003"]
+
+    def test_sum_over_comprehension_of_set_flagged(self, tmp_path):
+        src = "s = {1.5, 2.5}\ntotal = sum(x * 2 for x in s)\n"
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [UnorderedAccumulationRule()])
+        assert codes(result) == ["RPL003"]
+
+    def test_sum_over_sorted_not_flagged(self, tmp_path):
+        src = "s = {1.5, 2.5}\ntotal = sum(sorted(s))\n"
+        result = lint_tree(tmp_path, {"metrics/good.py": src}, [UnorderedAccumulationRule()])
+        assert codes(result) == []
+
+
+class TestWallClockRule:
+    def test_time_call_flagged_in_pure_package(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        result = lint_tree(tmp_path, {"metrics/bad.py": src}, [WallClockRule()])
+        assert codes(result) == ["RPL004"]
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        result = lint_tree(tmp_path, {"kernels/bad.py": src}, [WallClockRule()])
+        assert codes(result) == ["RPL004"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        result = lint_tree(tmp_path, {"graph/bad.py": src}, [WallClockRule()])
+        assert codes(result) == ["RPL004"]
+
+    def test_analysis_package_exempt(self, tmp_path):
+        # Presentation-side code may read the clock (e.g. progress logs).
+        src = "import time\nt = time.time()\n"
+        result = lint_tree(tmp_path, {"analysis/ok.py": src}, [WallClockRule()])
+        assert codes(result) == []
+
+
+class TestParityManifestRule:
+    def test_unregistered_dispatcher_flagged(self, tmp_path):
+        src = 'def shiny(graph, *, backend="auto"):\n    return 0.0\n'
+        result = lint_tree(tmp_path, {"metrics/new.py": src}, [ParityManifestRule()])
+        assert codes(result) == ["RPL005"]
+
+    def test_function_without_backend_not_flagged(self, tmp_path):
+        src = "def plain(graph, sample=10):\n    return 0.0\n"
+        result = lint_tree(tmp_path, {"metrics/new.py": src}, [ParityManifestRule()])
+        assert codes(result) == []
+
+    def test_covered_entries_reference_real_tests(self):
+        parity_source = (REPO_ROOT / PARITY_TEST_FILE).read_text(encoding="utf-8")
+        for qualname, test_name in PARITY_COVERED.items():
+            assert f"def {test_name}(" in parity_source, (
+                f"{qualname} claims coverage by {test_name}, which does not "
+                f"exist in {PARITY_TEST_FILE}"
+            )
+
+    def test_exemptions_carry_reasons(self):
+        for qualname, reason in PARITY_EXEMPT.items():
+            assert reason.strip(), f"exemption for {qualname} lacks a reason"
+
+
+class TestSuppressions:
+    def test_justified_suppression_suppresses(self, tmp_path):
+        src = "s = {1, 2}\nfor x in s:  # repro: noqa[RPL001] -- order-free\n    print(x)\n"
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, [SetIterationRule()])
+        assert codes(result) == []
+        suppressed = [d for d in result.diagnostics if d.status == "suppressed"]
+        assert len(suppressed) == 1
+        assert suppressed[0].justification == "order-free"
+        assert result.exit_code == 0
+
+    def test_suppression_without_justification_rejected(self, tmp_path):
+        src = "s = {1, 2}\nfor x in s:  # repro: noqa[RPL001]\n    print(x)\n"
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, [SetIterationRule()])
+        # The finding stays an error AND the bare noqa is itself flagged.
+        assert sorted(codes(result)) == ["RPL001", "RPL100"]
+        assert result.exit_code == 1
+
+    def test_unused_suppression_flagged(self, tmp_path):
+        src = "x = [1, 2]  # repro: noqa[RPL001] -- nothing here iterates a set\n"
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, [SetIterationRule()])
+        assert codes(result) == ["RPL101"]
+
+    def test_noqa_inside_string_ignored(self, tmp_path):
+        src = 's = "# repro: noqa[RPL001] -- not a comment"\n'
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, [SetIterationRule()])
+        assert codes(result) == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        src = "s = {1, 2}\nfor x in s:  # repro: noqa[RPL004] -- wrong rule\n    print(x)\n"
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, [SetIterationRule()])
+        assert sorted(codes(result)) == ["RPL001", "RPL101"]
+
+    def test_subset_run_ignores_suppressions_of_deselected_rules(self, tmp_path):
+        # A --select run must not flag the suppressions belonging to the
+        # rules it skipped as unused (or unjustified).
+        src = (
+            "import time\n"
+            "s = {1, 2}\n"
+            "for x in s:  # repro: noqa[RPL001] -- order-free\n"
+            "    t = time.time()\n"
+        )
+        rules = [SetIterationRule(), WallClockRule()]
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, rules, select=["RPL004"])
+        assert codes(result) == ["RPL004"]
+
+    def test_subset_run_still_flags_unknown_code_suppressions(self, tmp_path):
+        src = "x = 1  # repro: noqa[RPL999] -- no such rule\n"
+        rules = [SetIterationRule(), WallClockRule()]
+        result = lint_tree(tmp_path, {"metrics/mod.py": src}, rules, select=["RPL004"])
+        assert codes(result) == ["RPL101"]
+
+
+class TestLayeringRule:
+    def test_kernels_importing_metrics_rejected(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "kernels/fast.py": "from metrics.helper import thing\n",
+                "metrics/helper.py": "thing = 1\n",
+            },
+            [LayeringRule()],
+        )
+        assert codes(result) == ["RPL010"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "eager back-edge" in finding.message
+        assert "'kernels'" in finding.message and "'metrics'" in finding.message
+
+    def test_undeclared_deferred_back_edge_rejected(self, tmp_path):
+        src = "def f():\n    from runtime.sched import go\n    return go\n"
+        result = lint_tree(
+            tmp_path,
+            {"graph/lazy.py": src, "runtime/sched.py": "go = 1\n"},
+            [LayeringRule()],
+        )
+        assert codes(result) == ["RPL010"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "undeclared deferred" in finding.message
+
+    def test_declared_deferred_seam_allowed(self, tmp_path):
+        # (kernels, graph) is a declared seam in DEFERRED_EDGES.
+        src = "def f():\n    from graph.snap import S\n    return S\n"
+        result = lint_tree(
+            tmp_path,
+            {"kernels/csrish.py": src, "graph/snap.py": "S = 1\n"},
+            [LayeringRule()],
+        )
+        assert codes(result) == []
+
+    def test_type_checking_import_allowed(self, tmp_path):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from metrics.helper import thing\n"
+        )
+        result = lint_tree(
+            tmp_path,
+            {"kernels/typed.py": src, "metrics/helper.py": "thing = 1\n"},
+            [LayeringRule()],
+        )
+        assert codes(result) == []
+
+    def test_downward_import_allowed(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "metrics/clever.py": "from kernels.fast import thing\n",
+                "kernels/fast.py": "thing = 1\n",
+            },
+            [LayeringRule()],
+        )
+        assert codes(result) == []
+
+    def test_eager_module_cycle_rejected(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "graph/a.py": "import graph.b\n",
+                "graph/b.py": "import graph.a\n",
+            },
+            [LayeringRule()],
+        )
+        assert codes(result) == ["RPL010"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "cycle" in finding.message
+
+    def test_unknown_package_rejected(self, tmp_path):
+        result = lint_tree(
+            tmp_path, {"sidecar/new.py": "x = 1\n"}, [LayeringRule()]
+        )
+        assert codes(result) == ["RPL010"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "not in the layer contract" in finding.message
+
+    def test_render_dot_shape(self, tmp_path):
+        for rel, source in {
+            "metrics/clever.py": "from kernels.fast import thing\n",
+            "kernels/fast.py": "thing = 1\n",
+        }.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        dot = render_dot(discover_modules(tmp_path))
+        assert dot.startswith("digraph layers {")
+        assert '"metrics" -> "kernels" [style=solid];' in dot
+        assert dot.rstrip().endswith("}")
+
+
+class TestBaseline:
+    def test_round_trip_demotes_findings(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {"metrics/bad.py": "for x in {3, 1, 2}:\n    print(x)\n"},
+            [SetIterationRule()],
+        )
+        assert result.exit_code == 1
+        baseline_file = tmp_path / "baseline.json"
+        assert write_baseline(baseline_file, result.diagnostics) == 1
+        demoted = apply_baseline(result.diagnostics, load_baseline(baseline_file))
+        assert [d.status for d in demoted] == ["baselined"]
+
+    def test_new_duplicate_of_baselined_finding_still_fails(self, tmp_path):
+        one = lint_tree(
+            tmp_path,
+            {"metrics/bad.py": "for x in {3, 1, 2}:\n    print(x)\n"},
+            [SetIterationRule()],
+        )
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, one.diagnostics)
+        # Same finding duplicated on another line: one entry cannot cover two.
+        two = lint_tree(
+            tmp_path,
+            {
+                "metrics/bad.py": (
+                    "for x in {3, 1, 2}:\n    print(x)\n"
+                    "for y in {6, 5, 4}:\n    print(y)\n"
+                )
+            },
+            [SetIterationRule()],
+        )
+        demoted = apply_baseline(two.diagnostics, load_baseline(baseline_file))
+        assert sorted(d.status for d in demoted) == ["baselined", "error"]
+
+
+class TestCLI:
+    def write(self, tmp_path, files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self.write(tmp_path, {"metrics/good.py": "x = sorted({1, 2})\n"})
+        assert main([str(tmp_path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        self.write(tmp_path, {"metrics/bad.py": "for x in {3, 1}:\n    print(x)\n"})
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL001" in out and "metrics/bad.py:1" in out
+
+    def test_exit_two_on_missing_root(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        self.write(tmp_path, {"metrics/bad.py": "for x in {3, 1}:\n    print(x)\n"})
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        (diag,) = payload["diagnostics"]
+        assert diag["rule"] == "RPL001"
+        assert diag["line"] == 1
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        self.write(
+            tmp_path,
+            {"metrics/bad.py": "import time\nfor x in {3, 1}:\n    t = time.time()\n"},
+        )
+        assert main([str(tmp_path), "--select", "RPL004"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL004" in out and "RPL001" not in out
+
+    def test_baseline_mode_warn_only(self, tmp_path, capsys):
+        self.write(tmp_path, {"metrics/bad.py": "for x in {3, 1}:\n    print(x)\n"})
+        baseline = tmp_path / "baseline.json"
+        assert main([str(tmp_path), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_dot_output_written(self, tmp_path, capsys):
+        self.write(tmp_path, {"metrics/good.py": "x = 1\n"})
+        dot_file = tmp_path / "graph.dot"
+        assert main([str(tmp_path), "--dot", str(dot_file)]) == 0
+        assert dot_file.read_text(encoding="utf-8").startswith("digraph layers {")
+
+    def test_repro_cli_mounts_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        self.write(tmp_path, {"metrics/bad.py": "for x in {3, 1}:\n    print(x)\n"})
+        assert cli_main(["lint", str(tmp_path)]) == 1
+        assert "RPL001" in capsys.readouterr().out
+
+
+class TestCLIPipeline:
+    def test_broken_pipe_exits_quietly(self):
+        import subprocess
+        import sys as _sys
+
+        # `repro lint | head -0` closes stdout immediately; the CLI must
+        # exit without a traceback.
+        proc = subprocess.run(
+            f"{_sys.executable} -m repro.devtools.lint --show-suppressed | head -c 1",
+            shell=True,
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert "Traceback" not in proc.stderr
+
+
+class TestRepositoryIsClean:
+    def test_repo_lints_clean(self):
+        result = run_lint(default_root())
+        errors = [d for d in result.diagnostics if d.status == "error"]
+        assert errors == [], "\n".join(d.location + " " + d.message for d in errors)
+        assert result.exit_code == 0
+
+    def test_every_repo_suppression_is_justified(self):
+        for diag in run_lint(default_root()).diagnostics:
+            if diag.status == "suppressed":
+                assert diag.justification and diag.justification.strip()
+
+    def test_full_rule_set_registered(self):
+        assert [r.code for r in all_rules()] == [
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL010",
+        ]
+        assert [r.code for r in determinism_rules()] == [
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+        ]

@@ -76,7 +76,7 @@ class TestPdfAndBuckets:
         buckets = scaled_age_buckets(100.0, count=4)
         assert buckets[0][1] == 0.0
         assert buckets[-1][2] == float("inf")
-        for (_, lo1, hi1), (_, lo2, _) in zip(buckets, buckets[1:]):
+        for (_, _lo1, hi1), (_, lo2, _) in zip(buckets, buckets[1:], strict=False):
             assert hi1 == lo2
 
     def test_scaled_buckets_bad_count(self):

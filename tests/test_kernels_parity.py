@@ -218,7 +218,7 @@ def test_tracking_parity():
     py = track_stream(stream, interval=4.0, min_nodes=32, seed=5, backend="python")
     kr = track_stream(stream, interval=4.0, min_nodes=32, seed=5, backend="csr")
     assert len(py.snapshots) == len(kr.snapshots) > 0
-    for a, b in zip(py.snapshots, kr.snapshots):
+    for a, b in zip(py.snapshots, kr.snapshots, strict=True):
         assert a.time == b.time
         assert a.modularity == b.modularity
         assert _identical(a.avg_similarity, b.avg_similarity)
@@ -230,7 +230,7 @@ def test_tracking_parity():
             assert x.degree_sum == y.degree_sum
             assert _identical(x.similarity, y.similarity)
     assert len(py.events) == len(kr.events)
-    for ea, eb in zip(py.events, kr.events):
+    for ea, eb in zip(py.events, kr.events, strict=True):
         assert (ea.kind, ea.time, ea.subject, ea.other, ea.children) == (
             eb.kind,
             eb.time,

@@ -53,7 +53,7 @@ class TestLogBinnedPdf:
         # Integral over non-empty bins should be close to 1.
         total = 0.0
         idx = 0
-        for lo, hi in zip(edges[:-1], edges[1:]):
+        for lo, hi in zip(edges[:-1], edges[1:], strict=True):
             center = np.sqrt(lo * hi)
             if idx < centers.size and np.isclose(center, centers[idx]):
                 total += density[idx] * (hi - lo)

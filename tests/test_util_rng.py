@@ -25,7 +25,7 @@ def test_spawn_rngs_independent_and_deterministic():
     children_a = spawn_rngs(make_rng(7), 3)
     children_b = spawn_rngs(make_rng(7), 3)
     assert len(children_a) == 3
-    for ca, cb in zip(children_a, children_b):
+    for ca, cb in zip(children_a, children_b, strict=True):
         assert np.array_equal(ca.random(4), cb.random(4))
     draws = [tuple(c.random(4)) for c in spawn_rngs(make_rng(7), 3)]
     assert len(set(draws)) == 3  # children differ from each other
