@@ -13,7 +13,9 @@ The library has three layers:
 * **Experiments** — :mod:`repro.analysis` maps every paper figure panel to
   a driver producing paper-comparable numbers.
 * **Runtime** — :mod:`repro.runtime` executes the metrics pipeline with
-  checkpointed parallel replay and a content-addressed result cache.
+  checkpointed parallel replay and a content-addressed result cache;
+  :mod:`repro.store` is the columnar, memory-mapped on-disk event format
+  it reads at paper scale.
 
 Quickstart::
 
@@ -28,6 +30,7 @@ from repro.analysis import AnalysisContext, list_experiments, run_experiment
 from repro.gen import GeneratorConfig, MergeConfig, RenrenGenerator, generate_trace, presets
 from repro.graph import DynamicGraph, EdgeArrival, EventStream, GraphSnapshot, NodeArrival
 from repro.runtime import MetricSpec, compute_timeseries
+from repro.store import EventStore, StoreWriter
 
 __version__ = "1.0.0"
 
@@ -47,5 +50,7 @@ __all__ = [
     "NodeArrival",
     "EdgeArrival",
     "GraphSnapshot",
+    "EventStore",
+    "StoreWriter",
     "__version__",
 ]

@@ -9,6 +9,13 @@
     python -m repro experiment F3c --preset small --seed 7
     python -m repro experiment all --preset tiny_merge
     python -m repro lint --format json
+    python -m repro store convert trace.tsv trace.store
+    python -m repro store info trace.store
+    python -m repro store verify trace.store
+
+Commands that read a trace (``info``, ``metrics``, ``communities``)
+accept either a TSV file or a columnar store directory and detect which
+one they were given.
 
 Installed as the ``repro`` console script.
 """
@@ -36,15 +43,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a synthetic trace and write it as TSV")
+    gen = sub.add_parser("generate", help="generate a synthetic trace and write it out")
     _add_preset_args(gen)
-    gen.add_argument("--out", required=True, help="output TSV path")
+    gen.add_argument("--out", required=True, help="output path (TSV file or store directory)")
+    gen.add_argument(
+        "--format", choices=("auto", "tsv", "store"), default="auto",
+        help="output format; 'auto' writes a store when --out ends in .store",
+    )
 
-    info = sub.add_parser("info", help="validate a trace file and print summary statistics")
-    info.add_argument("trace", help="trace TSV path")
+    info = sub.add_parser("info", help="validate a trace and print summary statistics")
+    info.add_argument("trace", help="trace path (TSV or store)")
 
     metrics = sub.add_parser("metrics", help="print Figure-1 metrics over time for a trace")
-    metrics.add_argument("trace", help="trace TSV path")
+    metrics.add_argument("trace", help="trace path (TSV or store)")
     metrics.add_argument("--interval", type=float, default=10.0, help="snapshot cadence (days)")
     metrics.add_argument("--path-sample", type=int, default=200)
     metrics.add_argument("--clustering-sample", type=int, default=1500)
@@ -57,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_arg(metrics)
 
     comm = sub.add_parser("communities", help="track communities over a trace")
-    comm.add_argument("trace", help="trace TSV path")
+    comm.add_argument("trace", help="trace path (TSV or store)")
     comm.add_argument("--interval", type=float, default=3.0)
     comm.add_argument("--delta", type=float, default=0.04)
     comm.add_argument("--min-size", type=int, default=10)
@@ -76,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static determinism & layering analysis of the repro tree"
     )
     _configure_lint_parser(lint)
+
+    store = sub.add_parser("store", help="manage columnar event stores")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    convert = store_sub.add_parser(
+        "convert", help="convert TSV -> store or store -> TSV (direction inferred)"
+    )
+    convert.add_argument("src", help="source trace (TSV file or store directory)")
+    convert.add_argument("dst", help="destination path")
+    convert.add_argument(
+        "--chunk-events", type=int, default=None,
+        help="events per column chunk (TSV -> store only)",
+    )
+
+    store_info = store_sub.add_parser("info", help="print a store's manifest summary")
+    store_info.add_argument("path", help="store directory")
+
+    verify = store_sub.add_parser(
+        "verify", help="recompute checksums and digests; exit 1 on corruption"
+    )
+    verify.add_argument("path", help="store directory")
 
     return parser
 
@@ -160,23 +192,38 @@ def _resolve_config(args: argparse.Namespace):
     return getattr(presets, args.preset)(**kwargs)
 
 
+def _load_events(path: str):
+    """Open ``path`` as whichever event container it is (TSV or store)."""
+    from repro.store.convert import load_event_source
+
+    return load_event_source(path)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.gen.renren import generate_trace
     from repro.graph.stream_io import write_event_stream
 
     config = _resolve_config(args)
     stream = generate_trace(config, seed=args.seed)
-    write_event_stream(stream, args.out)
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "store" if str(args.out).endswith(".store") else "tsv"
+    if fmt == "store":
+        from repro.store.convert import write_store
+
+        write_store(stream, args.out)
+    else:
+        write_event_stream(stream, args.out)
     print(f"wrote {stream.num_nodes} nodes / {stream.num_edges} edges "
-          f"over {stream.end_time:.1f} days to {args.out}")
+          f"over {stream.end_time:.1f} days to {args.out} ({fmt})")
     return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.graph.dynamic import DynamicGraph
-    from repro.graph.stream_io import read_event_stream
+    from repro.store.convert import materialize
 
-    stream = read_event_stream(args.trace)
+    stream = materialize(_load_events(args.trace))
     origins = Counter(ev.origin for ev in stream.nodes)
     graph = DynamicGraph(stream).final()
     degrees = np.array([len(nbrs) for nbrs in graph.adjacency.values()])
@@ -189,11 +236,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.graph.stream_io import read_event_stream
     from repro.metrics.timeseries import compute_metric_timeseries
     from repro.runtime import MetricSpec
 
-    stream = read_event_stream(args.trace)
+    stream = _load_events(args.trace)
     spec = MetricSpec(
         path_sample=args.path_sample,
         clustering_sample=args.clustering_sample,
@@ -230,9 +276,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_communities(args: argparse.Namespace) -> int:
     from repro.community.tracking import track_stream
-    from repro.graph.stream_io import read_event_stream
+    from repro.store.convert import materialize
 
-    stream = read_event_stream(args.trace)
+    stream = materialize(_load_events(args.trace))
     tracker = track_stream(
         stream, interval=args.interval, delta=args.delta,
         min_size=args.min_size, seed=args.seed, backend=args.backend,
@@ -250,6 +296,64 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import run_from_args
 
     return run_from_args(args)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import EventStore, StoreError
+
+    if args.store_command == "convert":
+        from repro.store.convert import convert_tsv_to_store, store_to_tsv
+        from repro.store.format import DEFAULT_CHUNK_EVENTS
+
+        if EventStore.is_store(args.src):
+            if args.chunk_events is not None:
+                print("error: --chunk-events only applies to TSV -> store", file=sys.stderr)
+                return 2
+            store = EventStore(args.src)
+            store_to_tsv(store, args.dst)
+            print(f"decoded {store.num_node_events} node / {store.num_edge_events} edge "
+                  f"events from {args.src} to {args.dst} (tsv)")
+            return 0
+        chunk_events = args.chunk_events or DEFAULT_CHUNK_EVENTS
+        manifest = convert_tsv_to_store(args.src, args.dst, chunk_events=chunk_events)
+        chunks = len(manifest.node_chunks) + len(manifest.edge_chunks)
+        print(f"wrote {manifest.num_node_events} node / {manifest.num_edge_events} edge "
+              f"events to {args.dst} ({chunks} chunk(s), "
+              f"digest {manifest.content_digest[:12]}...)")
+        return 0
+
+    try:
+        store = EventStore(args.path)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.store_command == "verify":
+        try:
+            store.verify()
+        except StoreError as exc:
+            print(f"corrupt: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: ok ({store.num_node_events} node / "
+              f"{store.num_edge_events} edge events verified)")
+        return 0
+
+    from repro.store.format import FORMAT_NAME
+
+    manifest = store.manifest
+    on_disk = sum(
+        f.stat().st_size for f in store.path.iterdir() if f.is_file()
+    )
+    print(f"store      : {store.path}")
+    print(f"format     : {FORMAT_NAME} v{manifest.version}")
+    print(f"nodes      : {manifest.num_node_events}  "
+          f"(origins: {', '.join(manifest.origins) or '-'})")
+    print(f"edges      : {manifest.num_edge_events}")
+    print(f"span       : {store.end_time:.1f} days")
+    print(f"chunks     : {len(manifest.node_chunks)} node + {len(manifest.edge_chunks)} edge")
+    print(f"on disk    : {on_disk} bytes")
+    print(f"digest     : {manifest.content_digest}")
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -286,6 +390,7 @@ _COMMANDS = {
     "communities": _cmd_communities,
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
+    "store": _cmd_store,
 }
 
 

@@ -35,7 +35,7 @@ __all__ = [
 
 #: Packages whose results must be bit-reproducible across runs/processes.
 DETERMINISM_PACKAGES = frozenset(
-    {"metrics", "kernels", "community", "graph", "runtime"}
+    {"metrics", "kernels", "community", "graph", "runtime", "store"}
 )
 
 #: Packages that must be pure functions of their inputs (RPL004): the

@@ -6,7 +6,7 @@ fundamental)::
     util, devtools
       → kernels
         → graph
-          → metrics, edges, pa, community, osnmerge, gen, ml
+          → metrics, edges, pa, community, osnmerge, gen, ml, store
             → runtime
               → analysis
                 → cli
@@ -59,6 +59,7 @@ LAYERS: dict[str, int] = {
     "osnmerge": 3,
     "gen": 3,
     "ml": 3,
+    "store": 3,
     "runtime": 4,
     "analysis": 5,
     "cli": 6,

@@ -89,6 +89,16 @@ class DynamicGraph:
         )
 
     @property
+    def node_cursor(self) -> int:
+        """Number of node-arrival events consumed so far."""
+        return self._node_idx
+
+    @property
+    def edge_cursor(self) -> int:
+        """Number of edge-arrival events consumed so far."""
+        return self._edge_idx
+
+    @property
     def time_cursor(self) -> float:
         """The time up to which events have been applied (exclusive of future)."""
         times = []

@@ -10,8 +10,11 @@ the two pre-merge populations ("xiaonei", "fivq") from post-merge arrivals
 from __future__ import annotations
 
 import bisect
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = ["NodeArrival", "EdgeArrival", "EventStream", "ORIGIN_XIAONEI", "ORIGIN_5Q", "ORIGIN_NEW"]
 
@@ -58,10 +61,22 @@ class EventStream:
     * both lists are sorted by time;
     * every edge endpoint was created at or before the edge's time;
     * no duplicate nodes and no duplicate or self-loop edges.
+
+    Derived data (the per-kind time lists and the content digest) is cached
+    on first use and invalidated by :meth:`extend`.  Mutating ``nodes`` or
+    ``edges`` directly bypasses that invalidation — use :meth:`extend`.
     """
 
     nodes: list[NodeArrival] = field(default_factory=list)
     edges: list[EdgeArrival] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        self._node_times: list[float] | None = None
+        self._edge_times: list[float] | None = None
+        self._digest: str | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -106,17 +121,30 @@ class EventStream:
         """Map each node id to its origin label."""
         return {ev.node: ev.origin for ev in self.nodes}
 
+    def node_times(self) -> list[float]:
+        """The node-arrival times in order (cached until :meth:`extend`)."""
+        if self._node_times is None:
+            self._node_times = [ev.time for ev in self.nodes]
+        return self._node_times
+
+    def edge_times(self) -> list[float]:
+        """The edge-arrival times in order (cached until :meth:`extend`)."""
+        if self._edge_times is None:
+            self._edge_times = [ev.time for ev in self.edges]
+        return self._edge_times
+
     def edges_before(self, time: float) -> list[EdgeArrival]:
         """All edge events with ``event.time <= time``."""
-        idx = bisect.bisect_right([e.time for e in self.edges], time)
+        idx = bisect.bisect_right(self.edge_times(), time)
         return self.edges[:idx]
 
     def slice(self, start: float, end: float) -> "EventStream":
         """Return the sub-stream of events with ``start <= time <= end``."""
-        return EventStream(
-            nodes=[ev for ev in self.nodes if start <= ev.time <= end],
-            edges=[ev for ev in self.edges if start <= ev.time <= end],
-        )
+        node_times = self.node_times()
+        edge_times = self.edge_times()
+        n_lo, n_hi = bisect.bisect_left(node_times, start), bisect.bisect_right(node_times, end)
+        e_lo, e_hi = bisect.bisect_left(edge_times, start), bisect.bisect_right(edge_times, end)
+        return EventStream(nodes=self.nodes[n_lo:n_hi], edges=self.edges[e_lo:e_hi])
 
     def extend(self, nodes: Iterable[NodeArrival], edges: Iterable[EdgeArrival]) -> None:
         """Append events and restore time order."""
@@ -124,6 +152,27 @@ class EventStream:
         self.edges.extend(edges)
         self.nodes.sort(key=lambda ev: ev.time)
         self.edges.sort(key=lambda ev: ev.time)
+        self._invalidate_caches()
+
+    def content_digest(self) -> str:
+        """SHA-256 over the stream's full event content (cached).
+
+        Hashes times, ids, and origin labels of every event in order, so
+        any edit to the stream — reordering, relabeling, a single
+        timestamp — produces a different digest.  This is the canonical
+        content identity used by the result cache and mirrored by
+        ``repro.store`` manifests, so a stream and its columnar encoding
+        share one digest.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(np.array([ev.time for ev in self.nodes], dtype=np.float64).tobytes())
+            h.update(np.array([ev.node for ev in self.nodes], dtype=np.int64).tobytes())
+            h.update("\x00".join(ev.origin for ev in self.nodes).encode())
+            h.update(np.array([ev.time for ev in self.edges], dtype=np.float64).tobytes())
+            h.update(np.array([(ev.u, ev.v) for ev in self.edges], dtype=np.int64).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     def validate(self) -> None:
         """Check stream invariants; raise :class:`ValueError` on violation."""

@@ -10,16 +10,25 @@ line, chronological order within each section.
     E <time> <u> <v>
 
 Lines starting with ``#`` are comments.  Reading validates the stream.
+
+:func:`iter_events` parses one event at a time in file order, which is what
+``repro.store`` uses to convert arbitrarily large traces to the columnar
+format without materializing an :class:`EventStream`.
+
+Every malformed line — unknown record tag, wrong field count, or an
+unparseable number — raises the same ``ValueError`` shape naming the file,
+the 1-based line number, the offending line, and the specific reason.
 """
 
 from __future__ import annotations
 
 import os
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.graph.events import EdgeArrival, EventStream, NodeArrival
 
-__all__ = ["write_event_stream", "read_event_stream"]
+__all__ = ["write_event_stream", "read_event_stream", "iter_events"]
 
 _HEADER = "# repro-event-stream v1"
 
@@ -34,33 +43,58 @@ def write_event_stream(stream: EventStream, path: str | os.PathLike[str]) -> Non
             fh.write(f"E\t{float(ev.time)!r}\t{ev.u}\t{ev.v}\n")
 
 
-def read_event_stream(path: str | os.PathLike[str], validate: bool = True) -> EventStream:
-    """Read an event stream written by :func:`write_event_stream`.
+def _malformed(path: object, lineno: int, line: str, reason: str) -> ValueError:
+    return ValueError(f"{path}:{lineno}: malformed event line {line!r}: {reason}")
 
-    Raises :class:`ValueError` on malformed lines, or on invariant
-    violations when ``validate`` is true.
+
+def _parse_line(path: object, lineno: int, line: str) -> NodeArrival | EdgeArrival:
+    parts = line.split("\t")
+    kind = parts[0]
+    if kind not in ("N", "E"):
+        raise _malformed(path, lineno, line, f"unknown record type {kind!r} (expected 'N' or 'E')")
+    if len(parts) != 4:
+        raise _malformed(
+            path, lineno, line, f"expected 4 tab-separated fields, got {len(parts)}"
+        )
+    try:
+        if kind == "N":
+            return NodeArrival(time=float(parts[1]), node=int(parts[2]), origin=parts[3])
+        return EdgeArrival(time=float(parts[1]), u=int(parts[2]), v=int(parts[3]))
+    except ValueError as exc:
+        raise _malformed(path, lineno, line, str(exc)) from exc
+
+
+def iter_events(path: str | os.PathLike[str]) -> Iterator[NodeArrival | EdgeArrival]:
+    """Yield events from ``path`` one at a time, in file order.
+
+    Comments and blank lines are skipped.  Raises :class:`ValueError` with
+    a uniform ``file:lineno`` prefix on any malformed line, and the usual
+    :class:`FileNotFoundError` if the file does not exist.  No cross-event
+    validation happens here — collect into an :class:`EventStream` and call
+    :meth:`~EventStream.validate` for that.
     """
-    nodes: list[NodeArrival] = []
-    edges: list[EdgeArrival] = []
     with open(Path(path), encoding="utf-8") as fh:
         for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split("\t")
-            try:
-                if parts[0] == "N" and len(parts) == 4:
-                    nodes.append(
-                        NodeArrival(time=float(parts[1]), node=int(parts[2]), origin=parts[3])
-                    )
-                elif parts[0] == "E" and len(parts) == 4:
-                    edges.append(
-                        EdgeArrival(time=float(parts[1]), u=int(parts[2]), v=int(parts[3]))
-                    )
-                else:
-                    raise ValueError("unrecognized record")
-            except (ValueError, IndexError) as exc:
-                raise ValueError(f"{path}:{lineno}: malformed event line {line!r}") from exc
+            yield _parse_line(path, lineno, line)
+
+
+def read_event_stream(path: str | os.PathLike[str], validate: bool = True) -> EventStream:
+    """Read an event stream written by :func:`write_event_stream`.
+
+    Raises :class:`ValueError` on malformed lines (uniformly, with the file
+    and line number), or on invariant violations when ``validate`` is true.
+    An empty (or comment-only) file is a valid empty stream.
+    """
+    nodes: list[NodeArrival] = []
+    edges: list[EdgeArrival] = []
+    for ev in iter_events(path):
+        if isinstance(ev, NodeArrival):
+            nodes.append(ev)
+        else:
+            edges.append(ev)
     stream = EventStream(nodes=nodes, edges=edges)
     if validate:
         stream.validate()

@@ -18,6 +18,7 @@ if TYPE_CHECKING:
     from pathlib import Path
 
     from repro.runtime.spec import MetricSpec
+    from repro.store.reader import EventStore
 
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.events import EventStream
@@ -75,7 +76,7 @@ def standard_metrics(
 
 
 def compute_metric_timeseries(
-    stream: EventStream,
+    stream: EventStream | EventStore,
     metrics: Mapping[str, MetricFn] | MetricSpec,
     interval: float = 3.0,
     start: float | None = None,
@@ -94,6 +95,11 @@ def compute_metric_timeseries(
     ``workers > 1`` evaluates contiguous snapshot windows in a process
     pool (bit-identical to serial), and ``cache_dir`` enables the
     content-addressed on-disk result cache.
+
+    ``stream`` may also be an open :class:`~repro.store.reader.EventStore`
+    (the columnar on-disk format).  With a :class:`MetricSpec` the store is
+    handed to the runtime, which serves cache hits from the manifest digest
+    without decoding; with plain callables it is decoded here.
     """
     from repro.runtime.spec import MetricSpec
 
@@ -108,6 +114,10 @@ def compute_metric_timeseries(
             "workers/cache_dir require a repro.runtime.MetricSpec; ad-hoc metric "
             "callables cannot be re-seeded per snapshot or shipped to worker processes"
         )
+    from repro.store.reader import EventStore as _EventStore
+
+    if isinstance(stream, _EventStore):
+        stream = stream.to_stream()
     replay = DynamicGraph(stream)
     series = MetricTimeseries(values={name: [] for name in metrics})
     for view in replay.snapshots(interval=interval, start=start):

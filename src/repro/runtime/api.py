@@ -15,12 +15,13 @@ from repro.metrics.timeseries import MetricTimeseries
 from repro.runtime.cache import ResultCache, stream_digest
 from repro.runtime.parallel import evaluate_timeseries
 from repro.runtime.spec import MetricSpec
+from repro.store.reader import EventStore
 
 __all__ = ["compute_timeseries"]
 
 
 def compute_timeseries(
-    stream: EventStream,
+    stream: EventStream | EventStore,
     spec: MetricSpec,
     interval: float = 3.0,
     start: float | None = None,
@@ -33,6 +34,12 @@ def compute_timeseries(
     result is keyed by stream content + spec + cadence (worker count does
     not participate: serial and parallel results are bit-identical), so a
     re-run with unchanged inputs is a pure read.
+
+    ``stream`` may be an open :class:`~repro.store.reader.EventStore`.  The
+    cache key comes straight from the store manifest's content digest, so a
+    hit returns without decoding a single event; on a miss the store is
+    decoded once in the parent and parallel workers read only their own
+    window's chunks from disk instead of receiving the whole stream.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     key = None
@@ -42,7 +49,11 @@ def compute_timeseries(
         if hit is not None:
             hit.profile = _profile(spec, workers, hit.profile, cache)
             return hit
-    series = evaluate_timeseries(stream, spec, interval=interval, start=start, workers=workers)
+    store = stream if isinstance(stream, EventStore) else None
+    events = stream.to_stream() if isinstance(stream, EventStore) else stream
+    series = evaluate_timeseries(
+        events, spec, interval=interval, start=start, workers=workers, store=store
+    )
     if cache is not None and key is not None:
         cache.store(key, series)
     series.profile = _profile(spec, workers, series.profile, cache)

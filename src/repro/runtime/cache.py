@@ -26,6 +26,7 @@ import numpy as np
 from repro.graph.events import EventStream
 from repro.metrics.timeseries import MetricTimeseries
 from repro.runtime.spec import MetricSpec
+from repro.store.reader import EventStore
 
 __all__ = ["ResultCache", "default_cache_dir", "stream_digest"]
 
@@ -42,20 +43,21 @@ def default_cache_dir() -> Path:
     return Path("~/.cache/repro").expanduser()
 
 
-def stream_digest(stream: EventStream) -> str:
+def stream_digest(stream: EventStream | EventStore) -> str:
     """SHA-256 over the stream's full event content.
 
     Hashes times, ids, and origin labels of every event in order, so any
     edit to the stream — reordering, relabeling, a single timestamp —
-    produces a different digest.
+    produces a different digest.  Short-circuits wherever the digest is
+    already known: an :class:`~repro.store.reader.EventStore` answers
+    straight from its manifest (no events are decoded), and an
+    :class:`EventStream` caches the hash after the first computation.
+    Store and stream digests are byte-identical for equal content, so the
+    two paths share cache entries.
     """
-    h = hashlib.sha256()
-    h.update(np.array([ev.time for ev in stream.nodes], dtype=np.float64).tobytes())
-    h.update(np.array([ev.node for ev in stream.nodes], dtype=np.int64).tobytes())
-    h.update("\x00".join(ev.origin for ev in stream.nodes).encode())
-    h.update(np.array([ev.time for ev in stream.edges], dtype=np.float64).tobytes())
-    h.update(np.array([(ev.u, ev.v) for ev in stream.edges], dtype=np.int64).tobytes())
-    return h.hexdigest()
+    if isinstance(stream, EventStore):
+        return stream.content_digest
+    return stream.content_digest()
 
 
 class ResultCache:

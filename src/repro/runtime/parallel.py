@@ -15,7 +15,7 @@ import bisect
 import contextlib
 import multiprocessing
 import time as time_module
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
@@ -26,6 +26,7 @@ from repro.kernels.backend import resolve_backend
 from repro.kernels.csr import CSRGraph
 from repro.metrics.timeseries import MetricTimeseries
 from repro.runtime.spec import MetricSpec, snapshot_times
+from repro.store.reader import EventStore
 
 __all__ = ["evaluate_timeseries"]
 
@@ -39,11 +40,23 @@ Row = tuple[int, float, list[float], list[float]]
 # by _init_worker (pickled once per process, not once per window).
 _WORKER_STREAM: EventStream | None = None
 _WORKER_SPEC: MetricSpec | None = None
+_WORKER_STORE: EventStore | None = None
 
 
 def _init_worker(stream: EventStream, spec: MetricSpec) -> None:
     global _WORKER_STREAM, _WORKER_SPEC
     _WORKER_STREAM = stream
+    _WORKER_SPEC = spec
+
+
+def _init_store_worker(store_path: str, spec: MetricSpec) -> None:
+    """Install the store-backed worker state: a memmap handle, not a stream.
+
+    Opening a store is O(chunks) stat calls; the event payload itself
+    stays on disk and each window materializes only its own chunk rows.
+    """
+    global _WORKER_STORE, _WORKER_SPEC
+    _WORKER_STORE = EventStore(store_path)
     _WORKER_SPEC = spec
 
 
@@ -86,6 +99,29 @@ def _run_window(payload: tuple[ReplayCheckpoint, list[tuple[int, float]]]) -> li
     checkpoint, indexed_times = payload
     assert _WORKER_STREAM is not None and _WORKER_SPEC is not None
     replay = DynamicGraph.from_checkpoint(_WORKER_STREAM, checkpoint)
+    return _evaluate_rows(replay, _WORKER_SPEC, indexed_times)
+
+
+# Store-window payload: the checkpoint, this window's half-open event-index
+# ranges [node_lo, node_hi) / [edge_lo, edge_hi), and its snapshot times.
+StoreWindow = tuple[ReplayCheckpoint, tuple[int, int], tuple[int, int], list[tuple[int, float]]]
+
+
+def _run_store_window(payload: StoreWindow) -> list[Row]:
+    """Evaluate one window reading only its own chunk rows from the store.
+
+    The checkpoint's cursors are rebased to zero against the window-local
+    sub-stream: the events it skips are exactly the events the checkpoint
+    graph already contains, so replay — and therefore every metric value —
+    is bit-identical to the full-stream path.
+    """
+    checkpoint, (node_lo, node_hi), (edge_lo, edge_hi), indexed_times = payload
+    assert _WORKER_STORE is not None and _WORKER_SPEC is not None
+    substream = _WORKER_STORE.slice_events(node_lo, node_hi, edge_lo, edge_hi)
+    rebased = ReplayCheckpoint(
+        time=checkpoint.time, node_index=0, edge_index=0, csr=checkpoint.csr
+    )
+    replay = DynamicGraph.from_checkpoint(substream, rebased)
     return _evaluate_rows(replay, _WORKER_SPEC, indexed_times)
 
 
@@ -142,12 +178,20 @@ def evaluate_timeseries(
     interval: float = 3.0,
     start: float | None = None,
     workers: int = 1,
+    store: EventStore | None = None,
 ) -> MetricTimeseries:
     """Evaluate ``spec`` on snapshots of ``stream`` every ``interval`` days.
 
     ``workers=1`` runs in-process; ``workers>1`` fans contiguous timeline
     windows out to a process pool.  Both paths produce bit-identical
     results for the same ``(stream, spec, interval, start)``.
+
+    ``store`` (when the stream came from a columnar store) changes only
+    *how* parallel workers receive their events: instead of inheriting or
+    pickling the whole stream, each worker memmaps the store and decodes
+    just its own window's chunk rows.  It must hold the same events as
+    ``stream``; :func:`repro.runtime.api.compute_timeseries` wires this up
+    automatically for :class:`~repro.store.reader.EventStore` inputs.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -156,7 +200,7 @@ def evaluate_timeseries(
     if workers == 1 or len(indexed) < 2:
         rows = _evaluate_rows(DynamicGraph(stream), spec, indexed)
     else:
-        rows = _evaluate_parallel(stream, spec, indexed, workers)
+        rows = _evaluate_parallel(stream, spec, indexed, workers, store)
     series = MetricTimeseries(values={name: [] for name in spec.names})
     metric_seconds: dict[str, list[float]] = {name: [] for name in spec.names}
     for _, time, values, seconds in sorted(rows):
@@ -177,30 +221,52 @@ def _evaluate_parallel(
     spec: MetricSpec,
     indexed: list[tuple[int, float]],
     workers: int,
+    store: EventStore | None = None,
 ) -> list[Row]:
     chunks = _partition(_window_weights(stream, [t for _, t in indexed]), workers)
     # One structural replay to place a checkpoint at each window boundary.
     # This is O(events) with no metric work, so it is cheap relative to the
-    # metric evaluation it unlocks.
-    payloads: list[tuple[ReplayCheckpoint, list[tuple[int, float]]]] = []
+    # metric evaluation it unlocks.  For store-backed runs the replay also
+    # yields each window's event-index range, which is all a worker needs
+    # to pull its slice out of the store.
+    payloads: list[Any] = []
     replay = DynamicGraph(stream)
     for chunk in chunks:
-        payloads.append((replay.checkpoint(), [indexed[i] for i in chunk]))
+        checkpoint = replay.checkpoint()
         replay.advance_to(indexed[chunk[-1]][1])
+        window_times = [indexed[i] for i in chunk]
+        if store is not None:
+            payloads.append(
+                (
+                    checkpoint,
+                    (checkpoint.node_index, replay.node_cursor),
+                    (checkpoint.edge_index, replay.edge_cursor),
+                    window_times,
+                )
+            )
+        else:
+            payloads.append((checkpoint, window_times))
     context = _mp_context()
     pool_kwargs: dict[str, Any] = {}
-    handoff: contextlib.AbstractContextManager[None]
-    if context.get_start_method() == "fork":
+    handoff: contextlib.AbstractContextManager[None] = contextlib.nullcontext()
+    run: Callable[[Any], list[Row]]
+    if store is not None:
+        # The store path is tiny and the chunk pages are shared through the
+        # page cache, so both fork and spawn use the same initializer.
+        run = _run_store_window
+        pool_kwargs = {"initializer": _init_store_worker, "initargs": (str(store.path), spec)}
+    elif context.get_start_method() == "fork":
+        run = _run_window
         handoff = _inherited_globals(stream, spec)
     else:
+        run = _run_window
         pool_kwargs = {"initializer": _init_worker, "initargs": (stream, spec)}
-        handoff = contextlib.nullcontext()
     rows: list[Row] = []
     with handoff:
         with ProcessPoolExecutor(
             max_workers=len(payloads), mp_context=context, **pool_kwargs
         ) as pool:
-            for window_rows in pool.map(_run_window, payloads):
+            for window_rows in pool.map(run, payloads):
                 rows.extend(window_rows)
     return rows
 

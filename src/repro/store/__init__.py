@@ -1,0 +1,56 @@
+"""``repro.store`` — the columnar, memory-mapped event-store subsystem.
+
+The paper's trace is 19.4M node and 199.6M edge creation events over 771
+days; parsing that from TSV into per-event dataclasses is an O(stream)
+Python loop before any analysis starts.  This package is the canonical
+on-disk interchange format that removes that wall:
+
+* :class:`~repro.store.writer.StoreWriter` — append time-ordered event
+  batches, spilled as fixed-width column chunks (O(chunk) memory);
+* :class:`~repro.store.reader.EventStore` — ``np.memmap``-backed zero-copy
+  reads, chunk-index + ``searchsorted`` time-range scans, event-index
+  slices for parallel replay windows;
+* :mod:`~repro.store.convert` — streaming TSV ⇄ store conversion and
+  ``EventStream`` adapters;
+* :class:`~repro.store.format.StoreError` — the one exception every
+  structural problem (truncation, corruption, version mismatch, stale
+  manifest) raises, always naming the offending chunk.
+
+The manifest's ``content_digest`` equals
+:meth:`repro.graph.events.EventStream.content_digest` of the decoded
+stream, so the result cache (``repro.runtime.cache``) treats a store and
+its TSV twin as one input — and serves hits off a store without decoding
+a single event.
+"""
+
+from repro.store.convert import (
+    convert_tsv_to_store,
+    load_event_source,
+    materialize,
+    store_to_tsv,
+    write_store,
+)
+from repro.store.format import (
+    DEFAULT_CHUNK_EVENTS,
+    FORMAT_VERSION,
+    ChunkMeta,
+    Manifest,
+    StoreError,
+)
+from repro.store.reader import EventStore
+from repro.store.writer import StoreWriter
+
+__all__ = [
+    "DEFAULT_CHUNK_EVENTS",
+    "FORMAT_VERSION",
+    "ChunkMeta",
+    "EventStore",
+    "Manifest",
+    "StoreError",
+    "StoreWriter",
+    "convert_tsv_to_store",
+    "load_event_source",
+    "materialize",
+    "store_to_tsv",
+    "write_store",
+]

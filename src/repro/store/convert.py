@@ -1,0 +1,118 @@
+"""Adapters between event streams, TSV traces, and columnar stores.
+
+``convert_tsv_to_store`` streams: it parses the TSV one event at a time
+(:func:`repro.graph.stream_io.iter_events`), batches events, and appends
+them to a :class:`~repro.store.writer.StoreWriter` — peak memory is one
+chunk per event kind, independent of trace size.  ``store_to_tsv`` streams
+the other way, chunk by chunk, and emits bytes identical to
+:func:`~repro.graph.stream_io.write_event_stream` of the decoded stream.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.graph.events import EventStream
+from repro.graph.stream_io import _HEADER, iter_events
+from repro.store.format import DEFAULT_CHUNK_EVENTS, Manifest
+from repro.store.reader import EventStore
+from repro.store.writer import StoreWriter
+
+__all__ = [
+    "convert_tsv_to_store",
+    "load_event_source",
+    "materialize",
+    "store_to_tsv",
+    "write_store",
+]
+
+
+def write_store(
+    stream: EventStream,
+    path: str | os.PathLike[str],
+    *,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> Manifest:
+    """Encode an in-memory :class:`EventStream` as a store at ``path``."""
+    with StoreWriter(path, chunk_events=chunk_events) as writer:
+        for start in range(0, len(stream.nodes), chunk_events):
+            batch = stream.nodes[start : start + chunk_events]
+            writer.append_nodes(
+                [ev.time for ev in batch],
+                [ev.node for ev in batch],
+                [ev.origin for ev in batch],
+            )
+        for start in range(0, len(stream.edges), chunk_events):
+            batch = stream.edges[start : start + chunk_events]
+            writer.append_edges(
+                [ev.time for ev in batch],
+                [ev.u for ev in batch],
+                [ev.v for ev in batch],
+            )
+        return writer.close()
+
+
+def convert_tsv_to_store(
+    tsv_path: str | os.PathLike[str],
+    store_path: str | os.PathLike[str],
+    *,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    batch_events: int = 8192,
+) -> Manifest:
+    """Convert a TSV trace to a store without materializing the stream.
+
+    Node and edge sections must each be time-sorted (the invariant every
+    valid trace already satisfies); out-of-order input fails the writer's
+    monotonicity check rather than producing an unscannable store.
+    """
+    with StoreWriter(store_path, chunk_events=chunk_events) as writer:
+        batch: list = []
+        for ev in iter_events(tsv_path):
+            batch.append(ev)
+            if len(batch) >= batch_events:
+                writer.append_events(batch)
+                batch.clear()
+        if batch:
+            writer.append_events(batch)
+        return writer.close()
+
+
+def store_to_tsv(store: EventStore, tsv_path: str | os.PathLike[str]) -> None:
+    """Write a store back out as a TSV trace, chunk by chunk."""
+    labels = store.origins
+    with open(Path(tsv_path), "w", encoding="utf-8") as fh:
+        fh.write(_HEADER + "\n")
+        for index in range(len(store.manifest.node_chunks)):
+            cols = store._nodes.map(index)
+            for t, n, c in zip(
+                cols["time"].tolist(), cols["node"].tolist(), cols["origin"].tolist(), strict=True
+            ):
+                fh.write(f"N\t{t!r}\t{n}\t{labels[c]}\n")
+        for index in range(len(store.manifest.edge_chunks)):
+            cols = store._edges.map(index)
+            for t, u, v in zip(
+                cols["time"].tolist(), cols["u"].tolist(), cols["v"].tolist(), strict=True
+            ):
+                fh.write(f"E\t{t!r}\t{u}\t{v}\n")
+
+
+def load_event_source(path: str | os.PathLike[str]) -> EventStream | EventStore:
+    """Open ``path`` as whichever event container it is.
+
+    A directory with a manifest opens as an :class:`EventStore` (no decode,
+    no validation pass); anything else is parsed as a TSV trace (validated,
+    like every existing call site expects).
+    """
+    if EventStore.is_store(path):
+        return EventStore(path)
+    from repro.graph.stream_io import read_event_stream
+
+    return read_event_stream(path)
+
+
+def materialize(source: EventStream | EventStore) -> EventStream:
+    """``source`` as an :class:`EventStream`, decoding a store if needed."""
+    if isinstance(source, EventStore):
+        return source.to_stream()
+    return source

@@ -73,10 +73,56 @@ class TestSliceAndFilter:
         assert [ev.node for ev in sub.nodes] == [1, 2]
         assert len(sub.edges) == 1
 
+    def test_slice_boundaries_inclusive(self):
+        s = make_stream()
+        sub = s.slice(1.0, 2.5)
+        assert [ev.time for ev in sub.edges] == [1.0, 2.5]
+        assert [ev.node for ev in sub.nodes] == [2]
+
+    def test_slice_empty_window(self):
+        sub = make_stream().slice(3.0, 9.0)
+        assert sub.num_nodes == 0 and sub.num_edges == 0
+
     def test_extend_restores_order(self):
         s = make_stream()
         s.extend([NodeArrival(time=0.25, node=9)], [])
         assert [ev.node for ev in s.nodes] == [0, 9, 1, 2]
+
+    def test_extend_invalidates_time_caches(self):
+        s = make_stream()
+        assert len(s.edges_before(1.0)) == 1  # populate the cached times
+        s.extend([], [EdgeArrival(time=0.75, u=1, v=0)])
+        assert len(s.edges_before(1.0)) == 2
+        assert [ev.time for ev in s.slice(0.5, 1.0).edges] == [0.75, 1.0]
+
+
+class TestContentDigest:
+    def test_stable_across_calls(self):
+        s = make_stream()
+        assert s.content_digest() == s.content_digest()
+
+    def test_equal_streams_share_digest(self):
+        assert make_stream().content_digest() == make_stream().content_digest()
+
+    def test_sensitive_to_timestamp(self):
+        a = make_stream()
+        b = make_stream()
+        b.nodes[0] = NodeArrival(time=0.001, node=0)
+        b._invalidate_caches()
+        assert a.content_digest() != b.content_digest()
+
+    def test_sensitive_to_origin_label(self):
+        a = make_stream()
+        b = make_stream()
+        b.nodes[2] = NodeArrival(time=2.0, node=2, origin="new")
+        b._invalidate_caches()
+        assert a.content_digest() != b.content_digest()
+
+    def test_extend_invalidates_digest(self):
+        s = make_stream()
+        before = s.content_digest()
+        s.extend([NodeArrival(time=3.0, node=9)], [])
+        assert s.content_digest() != before
 
 
 class TestValidate:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.events import EdgeArrival, EventStream, NodeArrival
-from repro.graph.stream_io import read_event_stream, write_event_stream
+from repro.graph.stream_io import iter_events, read_event_stream, write_event_stream
 
 
 def test_roundtrip(tmp_path, tiny_stream):
@@ -31,18 +31,51 @@ def test_comments_and_blank_lines_ignored(tmp_path):
     assert loaded.num_nodes == 1
 
 
-def test_malformed_line_raises(tmp_path):
+@pytest.mark.parametrize(
+    ("line", "reason"),
+    [
+        ("X\t0.0\t1", "unknown record type 'X'"),
+        ("N\t0.0\t1", "expected 4 tab-separated fields, got 3"),
+        ("E\t0.0\t1\t2\t3", "expected 4 tab-separated fields, got 5"),
+        ("N\tzero\t0\txiaonei", "could not convert string to float"),
+        ("E\t0.0\tone\t2", "invalid literal for int"),
+    ],
+)
+def test_malformed_lines_raise_uniformly(tmp_path, line, reason):
+    """Every malformed shape gives the same file:lineno-prefixed error."""
     path = tmp_path / "bad.tsv"
-    path.write_text("X\t0.0\t1\n")
-    with pytest.raises(ValueError, match="malformed"):
+    path.write_text(f"# comment\n{line}\n")
+    with pytest.raises(ValueError, match="malformed event line") as err:
         read_event_stream(path)
+    message = str(err.value)
+    assert message.startswith(f"{path}:2: "), message
+    assert reason in message
 
 
-def test_malformed_number_raises(tmp_path):
-    path = tmp_path / "bad.tsv"
-    path.write_text("N\tzero\t0\txiaonei\n")
-    with pytest.raises(ValueError, match="malformed"):
-        read_event_stream(path)
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_event_stream(tmp_path / "nope.tsv")
+
+
+def test_empty_file_is_valid_empty_stream(tmp_path):
+    path = tmp_path / "empty.tsv"
+    path.write_text("")
+    loaded = read_event_stream(path)
+    assert loaded.num_nodes == 0 and loaded.num_edges == 0
+
+
+def test_comment_only_file_is_valid_empty_stream(tmp_path):
+    path = tmp_path / "c.tsv"
+    path.write_text("# repro-event-stream v1\n\n# nothing else\n")
+    loaded = read_event_stream(path)
+    assert loaded.num_nodes == 0 and loaded.num_edges == 0
+
+
+def test_iter_events_preserves_file_order(tmp_path):
+    path = tmp_path / "t.tsv"
+    path.write_text("N\t0.0\t0\txiaonei\nE\t1.0\t0\t1\nN\t2.0\t1\txiaonei\n")
+    kinds = [type(ev).__name__ for ev in iter_events(path)]
+    assert kinds == ["NodeArrival", "EdgeArrival", "NodeArrival"]
 
 
 def test_validation_catches_invalid_stream(tmp_path):

@@ -1,0 +1,439 @@
+"""Tests for repro.store: format, writer, reader, converters, integrity."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.events import EdgeArrival, EventStream, NodeArrival
+from repro.graph.stream_io import write_event_stream
+from repro.store import (
+    EventStore,
+    Manifest,
+    StoreError,
+    StoreWriter,
+    convert_tsv_to_store,
+    load_event_source,
+    materialize,
+    store_to_tsv,
+    write_store,
+)
+from repro.store.format import MANIFEST_NAME
+
+
+def small_stream() -> EventStream:
+    return EventStream(
+        nodes=[
+            NodeArrival(0.0, 0),
+            NodeArrival(0.5, 1, origin="fivq"),
+            NodeArrival(1.0, 2),
+            NodeArrival(2.0, 3, origin="new"),
+        ],
+        edges=[
+            EdgeArrival(1.0, 0, 1),
+            EdgeArrival(1.5, 1, 2),
+            EdgeArrival(2.5, 0, 3),
+        ],
+    )
+
+
+# -- round-trip --------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("chunk_events", [1, 2, 3, 1000])
+    def test_stream_roundtrip(self, tmp_path, chunk_events):
+        stream = small_stream()
+        write_store(stream, tmp_path / "s.store", chunk_events=chunk_events)
+        store = EventStore(tmp_path / "s.store")
+        decoded = store.to_stream(validate=True)
+        assert decoded.nodes == stream.nodes
+        assert decoded.edges == stream.edges
+
+    def test_tiny_stream_roundtrip(self, tmp_path, tiny_stream):
+        write_store(tiny_stream, tmp_path / "s.store", chunk_events=257)
+        decoded = EventStore(tmp_path / "s.store").to_stream()
+        assert decoded.nodes == tiny_stream.nodes
+        assert decoded.edges == tiny_stream.edges
+
+    def test_merge_stream_preserves_origins(self, tmp_path, merge_stream):
+        write_store(merge_stream, tmp_path / "s.store", chunk_events=499)
+        decoded = EventStore(tmp_path / "s.store").to_stream()
+        assert decoded.node_origins() == merge_stream.node_origins()
+
+    def test_empty_stream_roundtrip(self, tmp_path):
+        write_store(EventStream(), tmp_path / "s.store")
+        store = EventStore(tmp_path / "s.store")
+        assert store.num_node_events == 0 and store.num_edge_events == 0
+        assert store.end_time == 0.0
+        decoded = store.to_stream()
+        assert decoded.num_nodes == 0 and decoded.num_edges == 0
+        store.verify()
+
+    def test_tsv_convert_roundtrip_is_byte_identical(self, tmp_path, tiny_stream):
+        tsv = tmp_path / "t.tsv"
+        write_event_stream(tiny_stream, tsv)
+        convert_tsv_to_store(tsv, tmp_path / "t.store", chunk_events=300, batch_events=64)
+        back = tmp_path / "back.tsv"
+        store_to_tsv(EventStore(tmp_path / "t.store"), back)
+        assert back.read_bytes() == tsv.read_bytes()
+
+    def test_load_event_source_detects_both(self, tmp_path, tiny_stream):
+        tsv = tmp_path / "t.tsv"
+        write_event_stream(tiny_stream, tsv)
+        write_store(tiny_stream, tmp_path / "t.store")
+        assert isinstance(load_event_source(tsv), EventStream)
+        source = load_event_source(tmp_path / "t.store")
+        assert isinstance(source, EventStore)
+        assert materialize(source).nodes == tiny_stream.nodes
+        assert materialize(tiny_stream) is tiny_stream
+
+
+# -- digest parity -----------------------------------------------------------
+
+
+class TestDigestParity:
+    def test_manifest_digest_equals_stream_digest(self, tmp_path, tiny_stream):
+        manifest = write_store(tiny_stream, tmp_path / "s.store", chunk_events=311)
+        assert manifest.content_digest == tiny_stream.content_digest()
+
+    def test_digest_parity_with_merge_origins(self, tmp_path, merge_stream):
+        manifest = write_store(merge_stream, tmp_path / "s.store", chunk_events=123)
+        assert manifest.content_digest == merge_stream.content_digest()
+
+    @pytest.mark.parametrize("chunk_events", [1, 2, 7, 1000])
+    def test_digest_independent_of_chunking(self, tmp_path, chunk_events):
+        stream = small_stream()
+        manifest = write_store(stream, tmp_path / f"c{chunk_events}", chunk_events=chunk_events)
+        assert manifest.content_digest == stream.content_digest()
+
+    def test_to_stream_preseeds_digest(self, tmp_path, tiny_stream):
+        write_store(tiny_stream, tmp_path / "s.store")
+        store = EventStore(tmp_path / "s.store")
+        decoded = store.to_stream()
+        assert decoded._digest == store.content_digest
+        assert decoded.content_digest() == tiny_stream.content_digest()
+
+    def test_partial_slice_does_not_inherit_digest(self, tmp_path, tiny_stream):
+        write_store(tiny_stream, tmp_path / "s.store")
+        store = EventStore(tmp_path / "s.store")
+        partial = store.slice_events(0, store.num_node_events - 1, 0, store.num_edge_events)
+        assert partial.content_digest() != store.content_digest
+
+
+# -- property-based ----------------------------------------------------------
+
+event_streams = st.builds(
+    lambda node_times, edge_times, origins: EventStream(
+        nodes=[
+            NodeArrival(time=t, node=i, origin=origins[i % len(origins)])
+            for i, t in enumerate(sorted(node_times))
+        ],
+        edges=[
+            EdgeArrival(time=t, u=2 * i, v=2 * i + 1)
+            for i, t in enumerate(sorted(edge_times))
+        ],
+    ),
+    node_times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=0, max_size=40
+    ),
+    edge_times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=0, max_size=40
+    ),
+    origins=st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="\x00"),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=event_streams, chunk_events=st.integers(1, 50))
+    def test_roundtrip_and_digest(self, tmp_path_factory, stream, chunk_events):
+        root = tmp_path_factory.mktemp("prop")
+        manifest = write_store(stream, root / "s.store", chunk_events=chunk_events)
+        store = EventStore(root / "s.store")
+        decoded = store.to_stream()
+        assert decoded.nodes == stream.nodes
+        assert decoded.edges == stream.edges
+        assert manifest.content_digest == stream.content_digest()
+        store.verify()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        stream=event_streams,
+        chunk_events=st.integers(1, 50),
+        window=st.tuples(
+            st.floats(min_value=-1.0, max_value=101.0, allow_nan=False),
+            st.floats(min_value=-1.0, max_value=101.0, allow_nan=False),
+        ),
+    )
+    def test_window_scans_match_brute_force(self, tmp_path_factory, stream, chunk_events, window):
+        start, end = sorted(window)
+        root = tmp_path_factory.mktemp("win")
+        write_store(stream, root / "s.store", chunk_events=chunk_events)
+        store = EventStore(root / "s.store")
+        times, nodes, _ = store.nodes_in(start, end)
+        expected = [ev for ev in stream.nodes if start <= ev.time <= end]
+        assert times.tolist() == [ev.time for ev in expected]
+        assert nodes.tolist() == [ev.node for ev in expected]
+        etimes, us, vs = store.edges_in(start, end)
+        eexpected = [ev for ev in stream.edges if start <= ev.time <= end]
+        assert etimes.tolist() == [ev.time for ev in eexpected]
+        assert list(zip(us.tolist(), vs.tolist())) == [(ev.u, ev.v) for ev in eexpected]
+        node_count, edge_count = store.index_at(end)
+        assert node_count == sum(1 for ev in stream.nodes if ev.time <= end)
+        assert edge_count == sum(1 for ev in stream.edges if ev.time <= end)
+
+
+# -- index scans -------------------------------------------------------------
+
+
+class TestScans:
+    def test_slice_events_by_index(self, tmp_path, tiny_stream):
+        write_store(tiny_stream, tmp_path / "s.store", chunk_events=100)
+        store = EventStore(tmp_path / "s.store")
+        sub = store.slice_events(5, 250, 10, 333)
+        assert sub.nodes == tiny_stream.nodes[5:250]
+        assert sub.edges == tiny_stream.edges[10:333]
+
+    def test_slice_events_clamps_out_of_range(self, tmp_path):
+        stream = small_stream()
+        write_store(stream, tmp_path / "s.store", chunk_events=2)
+        store = EventStore(tmp_path / "s.store")
+        sub = store.slice_events(-5, 99, 2, 99)
+        assert sub.nodes == stream.nodes
+        assert sub.edges == stream.edges[2:]
+
+    def test_index_at_matches_dynamic_graph_cursors(self, tmp_path, tiny_stream):
+        from repro.graph.dynamic import DynamicGraph
+
+        write_store(tiny_stream, tmp_path / "s.store", chunk_events=100)
+        store = EventStore(tmp_path / "s.store")
+        replay = DynamicGraph(tiny_stream)
+        for t in (0.0, 10.0, 30.5, 60.0):
+            replay.advance_to(t)
+            assert store.index_at(t) == (replay.node_cursor, replay.edge_cursor)
+
+    def test_node_and_edge_arrays(self, tmp_path):
+        stream = small_stream()
+        write_store(stream, tmp_path / "s.store", chunk_events=2)
+        store = EventStore(tmp_path / "s.store")
+        times, nodes, codes = store.node_arrays()
+        assert times.tolist() == [ev.time for ev in stream.nodes]
+        assert nodes.tolist() == [ev.node for ev in stream.nodes]
+        labels = store.origins
+        assert [labels[c] for c in codes.tolist()] == [ev.origin for ev in stream.nodes]
+        etimes, us, vs = store.edge_arrays()
+        assert etimes.tolist() == [ev.time for ev in stream.edges]
+        assert us.tolist() == [ev.u for ev in stream.edges]
+        assert vs.tolist() == [ev.v for ev in stream.edges]
+
+
+# -- writer misuse -----------------------------------------------------------
+
+
+class TestWriter:
+    def test_out_of_order_batch_rejected(self, tmp_path):
+        with StoreWriter(tmp_path / "s.store") as writer:
+            with pytest.raises(ValueError, match="not sorted"):
+                writer.append_nodes([2.0, 1.0], [0, 1], ["xiaonei", "xiaonei"])
+            writer.append_nodes([], [], [])
+
+    def test_batch_predating_previous_rejected(self, tmp_path):
+        with StoreWriter(tmp_path / "s.store") as writer:
+            writer.append_edges([5.0], [0], [1])
+            with pytest.raises(ValueError, match="time order"):
+                writer.append_edges([4.0], [1], [2])
+
+    def test_mismatched_column_lengths_rejected(self, tmp_path):
+        with StoreWriter(tmp_path / "s.store") as writer:
+            with pytest.raises(ValueError, match="mismatched lengths"):
+                writer.append_edges([1.0, 2.0], [0], [1])
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s.store")
+        writer.close()
+        with pytest.raises(StoreError, match="closed"):
+            writer.append_nodes([0.0], [0], ["xiaonei"])
+        with pytest.raises(StoreError, match="closed"):
+            writer.close()
+
+    def test_refuses_to_overwrite_existing_store(self, tmp_path):
+        write_store(small_stream(), tmp_path / "s.store")
+        with pytest.raises(StoreError, match="refusing to overwrite"):
+            StoreWriter(tmp_path / "s.store")
+
+    def test_invalid_chunk_events(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_events"):
+            StoreWriter(tmp_path / "s.store", chunk_events=0)
+
+    def test_aborted_writer_leaves_no_manifest(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with StoreWriter(tmp_path / "s.store", chunk_events=1) as writer:
+                writer.append_nodes([0.0], [0], ["xiaonei"])
+                raise RuntimeError("boom")
+        assert not EventStore.is_store(tmp_path / "s.store")
+        with pytest.raises(StoreError, match="not an event store"):
+            EventStore(tmp_path / "s.store")
+
+    def test_chunk_files_are_exactly_sized(self, tmp_path, tiny_stream):
+        manifest = write_store(tiny_stream, tmp_path / "s.store", chunk_events=100)
+        for chunk in manifest.node_chunks[:-1]:
+            assert chunk.count == 100
+        assert sum(c.count for c in manifest.node_chunks) == tiny_stream.num_nodes
+        assert sum(c.count for c in manifest.edge_chunks) == tiny_stream.num_edges
+
+
+# -- corruption & integrity --------------------------------------------------
+
+
+def _patch_manifest(store_path, mutate):
+    """Load, mutate, and rewrite a store's manifest JSON."""
+    path = store_path / MANIFEST_NAME
+    payload = json.loads(path.read_text())
+    mutate(payload)
+    path.write_text(json.dumps(payload))
+
+
+@pytest.fixture()
+def stored(tmp_path):
+    """A small multi-chunk store on disk, plus its source stream."""
+    stream = small_stream()
+    write_store(stream, tmp_path / "s.store", chunk_events=2)
+    return tmp_path / "s.store", stream
+
+
+class TestCorruption:
+    def test_truncated_chunk_fails_at_open(self, stored):
+        path, _ = stored
+        chunk = path / "edge-000000.bin"
+        chunk.write_bytes(chunk.read_bytes()[:-8])
+        with pytest.raises(StoreError, match="edge-000000.bin") as err:
+            EventStore(path)
+        assert err.value.chunk == "edge-000000.bin"
+        assert "truncated" in str(err.value)
+
+    def test_missing_chunk_fails_at_open(self, stored):
+        path, _ = stored
+        (path / "node-000001.bin").unlink()
+        with pytest.raises(StoreError, match="missing chunk file node-000001.bin"):
+            EventStore(path)
+
+    def test_bit_flip_caught_by_verify(self, stored):
+        path, _ = stored
+        chunk = path / "node-000000.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[16] ^= 0x01  # flip one bit inside the node-id column
+        chunk.write_bytes(bytes(blob))
+        store = EventStore(path)  # size unchanged: open succeeds
+        with pytest.raises(StoreError, match="checksum mismatch") as err:
+            store.verify()
+        assert err.value.chunk == "node-000000.bin"
+
+    def test_stale_time_metadata_caught_by_verify(self, stored):
+        path, _ = stored
+
+        def mutate(payload):
+            chunk = payload["nodes"]["chunks"][0]
+            chunk["t_max"] = chunk["t_max"] + 1.0
+
+        _patch_manifest(path, mutate)
+        with pytest.raises(StoreError, match="stale manifest"):
+            EventStore(path).verify()
+
+    def test_tampered_digest_caught_by_verify(self, stored):
+        path, _ = stored
+        _patch_manifest(path, lambda p: p.update(content_digest="0" * 64))
+        with pytest.raises(StoreError, match="does not match the manifest"):
+            EventStore(path).verify()
+
+    def test_version_mismatch_fails_at_open(self, stored):
+        path, _ = stored
+        _patch_manifest(path, lambda p: p.update(version=99))
+        with pytest.raises(StoreError, match="version 99"):
+            EventStore(path)
+
+    def test_wrong_format_name_fails_at_open(self, stored):
+        path, _ = stored
+        _patch_manifest(path, lambda p: p.update(format="something-else"))
+        with pytest.raises(StoreError, match="not a repro-event-store manifest"):
+            EventStore(path)
+
+    def test_garbage_manifest_fails_at_open(self, stored):
+        path, _ = stored
+        (path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            EventStore(path)
+
+    def test_count_mismatch_fails_at_open(self, stored):
+        path, _ = stored
+        _patch_manifest(path, lambda p: p["nodes"].update(count=999))
+        with pytest.raises(StoreError, match="disagree"):
+            EventStore(path)
+
+    def test_missing_manifest_field_fails_at_open(self, stored):
+        path, _ = stored
+        _patch_manifest(path, lambda p: p.pop("origins"))
+        with pytest.raises(StoreError, match="missing or mistypes"):
+            EventStore(path)
+
+    def test_out_of_table_origin_code_caught(self, stored):
+        path, _ = stored
+        import hashlib
+
+        chunk = path / "node-000000.bin"
+        blob = bytearray(chunk.read_bytes())
+        # Columns: time f8 x2 | node i8 x2 | origin u2 x2 — poke the first
+        # origin code past the string table, then re-sign the chunk so the
+        # checksum pass cannot be the one that catches it.
+        blob[-4:-2] = (60000).to_bytes(2, "little")
+        chunk.write_bytes(bytes(blob))
+        _patch_manifest(
+            path,
+            lambda p: p["nodes"]["chunks"][0].update(
+                sha256=hashlib.sha256(bytes(blob)).hexdigest()
+            ),
+        )
+        store = EventStore(path)
+        with pytest.raises(StoreError, match="origin code"):
+            store.verify()
+        with pytest.raises(StoreError, match="origin code"):
+            store.to_stream()
+
+    def test_unsorted_chunk_times_caught(self, stored):
+        path, _ = stored
+        import hashlib
+
+        chunk = path / "edge-000000.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[0:8] = np.float64(9.0).tobytes()  # first time now exceeds the second
+        chunk.write_bytes(bytes(blob))
+        _patch_manifest(
+            path,
+            lambda p: p["edges"]["chunks"][0].update(
+                sha256=hashlib.sha256(bytes(blob)).hexdigest()
+            ),
+        )
+        with pytest.raises(StoreError, match="not sorted"):
+            EventStore(path).verify()
+
+    def test_is_store_on_plain_directory(self, tmp_path):
+        assert not EventStore.is_store(tmp_path)
+        assert not EventStore.is_store(tmp_path / "missing")
+
+
+class TestManifest:
+    def test_json_roundtrip(self, tmp_path, tiny_stream):
+        written = write_store(tiny_stream, tmp_path / "s.store", chunk_events=200)
+        text = (tmp_path / "s.store" / MANIFEST_NAME).read_text()
+        parsed = Manifest.from_json(text)
+        assert parsed == written
