@@ -1,0 +1,197 @@
+"""Benchmark harness for the observability layer's disabled-path overhead.
+
+The repro.obs contract is "zero overhead when off": with the default
+:class:`~repro.obs.NullRecorder` installed, every instrumented site costs
+one module-global read plus a no-op call.  This harness bounds that cost
+analytically, which is robust on noisy CI boxes where timing the same
+workload twice varies by far more than the overhead being measured:
+
+1. run the metric-timeseries workload untraced and time it;
+2. re-run it under a *counting* recorder whose ``enabled`` is ``False``
+   (so ``if rec.enabled:`` guarded sites are skipped exactly as in
+   production) to count the instrumentation calls the disabled path
+   actually executes;
+3. microbenchmark the real ``NullRecorder`` per-site cost, and assert
+   ``hits x per_site / workload_seconds <= 2%``.
+
+The harness also asserts the tracing-parity contract — a fully traced
+run must produce bit-identical metric values.
+
+Two entry points:
+
+* ``pytest benchmarks/test_obs.py`` — the default-scale regression test
+  on presets.small.
+* ``python benchmarks/test_obs.py [--quick] [--out BENCH_obs.json]
+  [--trace-out run.json]`` — the CI smoke harness; ``--trace-out``
+  additionally writes the traced run's Chrome trace (the CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from contextlib import AbstractContextManager
+from typing import Any
+
+from repro.gen.config import presets
+from repro.gen.renren import generate_trace
+from repro.obs import NULL_RECORDER, Recorder, TraceRecorder, use_recorder, write_trace
+from repro.runtime import MetricSpec, compute_timeseries
+
+MAX_OVERHEAD = 0.02  # disabled-path budget: <= 2% of workload wall time
+
+
+class _CountingRecorder(Recorder):
+    """Counts disabled-path instrumentation hits without recording anything.
+
+    ``enabled`` stays ``False``, so guarded sites (``if rec.enabled:``)
+    skip exactly as they do in production disabled runs — ``hits`` is
+    therefore the exact number of recorder calls the disabled path pays
+    for, not the (larger) number a traced run would make.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self._null = NULL_RECORDER.span("count")
+
+    def span(self, name: str, **attrs: Any) -> AbstractContextManager[None]:
+        self.hits += 1
+        return self._null
+
+    def count(self, name: str, n: float = 1) -> None:
+        self.hits += 1
+
+    def gauge(self, name: str, value: float) -> None:
+        self.hits += 1
+
+
+def _null_site_cost_s(iters: int = 200_000) -> float:
+    """Measured wall seconds per disabled instrumentation site.
+
+    One "site" is the full pattern instrumented code pays: fetch the
+    recorder, open a span with a keyword attribute, enter and exit it.
+    """
+    from repro.obs import get_recorder
+
+    began = time.perf_counter()
+    for _ in range(iters):
+        with get_recorder().span("bench.site", snapshot=0):
+            pass
+    return (time.perf_counter() - began) / iters
+
+
+def run_bench(quick: bool = False, seed: int = 7) -> dict:
+    """Measure disabled-path overhead and tracing parity; returns the report."""
+    if quick:
+        config, preset = presets.tiny(), "tiny"
+        spec = MetricSpec(path_sample=60, clustering_sample=300, seed=seed, backend="csr")
+        interval = 10.0
+    else:
+        config, preset = presets.small(), "small"
+        spec = MetricSpec(path_sample=200, clustering_sample=800, seed=seed, backend="csr")
+        interval = 10.0
+    stream = generate_trace(config, seed=seed)
+
+    # 1. The production disabled path, timed.
+    began = time.perf_counter()
+    untraced = compute_timeseries(stream, spec, interval=interval)
+    workload_s = time.perf_counter() - began
+
+    # 2. Exact count of the instrumentation calls that path executed.
+    counting = _CountingRecorder()
+    with use_recorder(counting):
+        compute_timeseries(stream, spec, interval=interval)
+    hits = counting.hits
+
+    # 3. Per-site cost of the real NullRecorder.
+    per_site_s = _null_site_cost_s()
+    overhead_fraction = hits * per_site_s / workload_s if workload_s > 0 else 0.0
+
+    # Parity: a fully traced run must not change a single value.
+    recorder = TraceRecorder(lane=0, label="main")
+    with use_recorder(recorder):
+        traced = compute_timeseries(stream, spec, interval=interval)
+    values_identical = traced.times == untraced.times and traced.values == untraced.values
+    assert values_identical, "tracing changed metric values"
+
+    payload = recorder.to_payload()
+    return {
+        "preset": preset,
+        "seed": seed,
+        "quick": quick,
+        "snapshots": len(untraced.times),
+        "workload_s": workload_s,
+        "instrumentation_hits": hits,
+        "per_site_ns": per_site_s * 1e9,
+        "overhead_fraction": overhead_fraction,
+        "max_overhead": MAX_OVERHEAD,
+        "values_identical": values_identical,
+        "traced_spans": sum(len(lane["spans"]) for lane in payload["lanes"]),
+        "_trace_payload": payload,  # stripped before JSON output
+    }
+
+
+def print_report(report: dict) -> None:
+    """Render the report as the table CI logs show."""
+    print(
+        f"[obs] preset={report['preset']} snapshots={report['snapshots']} "
+        f"workload={report['workload_s']:.3f}s"
+    )
+    print(
+        f"[obs] disabled-path: {report['instrumentation_hits']} site hits x "
+        f"{report['per_site_ns']:.0f}ns = "
+        f"{100.0 * report['overhead_fraction']:.4f}% of workload "
+        f"(budget {100.0 * report['max_overhead']:.1f}%)"
+    )
+    print(
+        f"[obs] traced run: {report['traced_spans']} spans, values identical: "
+        f"{report['values_identical']}"
+    )
+
+
+def test_obs_disabled_overhead():
+    """Default scale: disabled tracing must cost <= 2% of the workload."""
+    report = run_bench(quick=False)
+    print()
+    print_report(report)
+    assert report["values_identical"]
+    assert report["overhead_fraction"] <= MAX_OVERHEAD
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="observability overhead benchmark harness")
+    parser.add_argument("--quick", action="store_true", help="seconds-long smoke workload")
+    parser.add_argument("--out", default=None, help="write the report as JSON to this path")
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="also write the traced run's trace here (.json -> Chrome trace-event)",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(quick=args.quick)
+    payload = report.pop("_trace_payload")
+    print_report(report)
+    if args.trace_out:
+        fmt = write_trace(payload, args.trace_out)
+        print(f"[obs] wrote {fmt} trace to {args.trace_out}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"[obs] wrote {args.out}")
+    if not report["values_identical"]:
+        print("[obs] FAIL: tracing changed metric values")
+        return 1
+    if report["overhead_fraction"] > MAX_OVERHEAD:
+        print(
+            f"[obs] FAIL: disabled-path overhead "
+            f"{100.0 * report['overhead_fraction']:.3f}% exceeds the "
+            f"{100.0 * MAX_OVERHEAD:.1f}% budget"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from repro.graph.dynamic import DynamicGraph
 from repro.graph.events import EventStream
 from repro.graph.snapshot import GraphSnapshot
 from repro.metrics.timeseries import MetricTimeseries, compute_metric_timeseries
+from repro.obs import get_recorder
 from repro.osnmerge.activity import activity_threshold
 from repro.osnmerge.edge_rates import EdgeRateSeries, edges_per_day_by_type
 from repro.runtime.spec import MetricSpec
@@ -72,20 +73,23 @@ class AnalysisContext:
     def stream(self) -> EventStream:
         """The generated event stream (cached)."""
         if self._stream is None:
-            self._stream = generate_trace(self.config, seed=self.seed)
+            with get_recorder().span("analysis.stream", seed=self.seed):
+                self._stream = generate_trace(self.config, seed=self.seed)
         return self._stream
 
     @property
     def tracker(self) -> CommunityTracker:
         """A completed community-tracking run over the stream (cached)."""
         if self._tracker is None:
-            self._tracker = track_stream(
-                self.stream,
-                interval=self.tracking_interval,
-                delta=self.tracking_delta,
-                seed=self.seed,
-                backend=self.backend,
-            )
+            stream = self.stream
+            with get_recorder().span("analysis.tracking", interval=self.tracking_interval):
+                self._tracker = track_stream(
+                    stream,
+                    interval=self.tracking_interval,
+                    delta=self.tracking_delta,
+                    seed=self.seed,
+                    backend=self.backend,
+                )
         return self._tracker
 
     @property
@@ -111,13 +115,15 @@ class AnalysisContext:
             spec = MetricSpec(
                 path_sample=200, clustering_sample=800, seed=self.seed, backend=self.backend
             )
-            self._metrics = compute_metric_timeseries(
-                self.stream,
-                spec,
-                interval=interval,
-                workers=self.workers,
-                cache_dir=self.cache_dir,
-            )
+            stream = self.stream
+            with get_recorder().span("analysis.metrics", interval=interval):
+                self._metrics = compute_metric_timeseries(
+                    stream,
+                    spec,
+                    interval=interval,
+                    workers=self.workers,
+                    cache_dir=self.cache_dir,
+                )
         return self._metrics
 
     @property

@@ -12,10 +12,19 @@
     python -m repro store convert trace.tsv trace.store
     python -m repro store info trace.store
     python -m repro store verify trace.store
+    python -m repro metrics trace.tsv --trace run.trace.jsonl
+    python -m repro trace summarize run.trace.jsonl
+    python -m repro trace export run.trace.jsonl run.json
 
 Commands that read a trace (``info``, ``metrics``, ``communities``)
 accept either a TSV file or a columnar store directory and detect which
 one they were given.
+
+Every command that replays events accepts ``--trace PATH`` to record a
+structured execution trace (spans, counters, per-worker lanes — see
+:mod:`repro.obs`); ``repro trace`` summarizes or re-exports a recorded
+trace (a ``.json`` destination produces Chrome trace-event JSON loadable
+in Perfetto / ``chrome://tracing``).
 
 Installed as the ``repro`` console script.
 """
@@ -23,9 +32,11 @@ Installed as the ``repro`` console script.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from collections import Counter
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -53,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="validate a trace and print summary statistics")
     info.add_argument("trace", help="trace path (TSV or store)")
+    _add_trace_arg(info)
 
     metrics = sub.add_parser("metrics", help="print Figure-1 metrics over time for a trace")
     metrics.add_argument("trace", help="trace path (TSV or store)")
@@ -66,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_args(metrics)
     _add_profile_arg(metrics)
+    _add_trace_arg(metrics)
 
     comm = sub.add_parser("communities", help="track communities over a trace")
     comm.add_argument("trace", help="trace path (TSV or store)")
@@ -74,12 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
     comm.add_argument("--min-size", type=int, default=10)
     comm.add_argument("--seed", type=int, default=0)
     _add_backend_arg(comm)
+    _add_trace_arg(comm)
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment (or 'all')")
     exp.add_argument("experiment", help="experiment id, e.g. F3c, or 'all'")
     _add_preset_args(exp)
     _add_runtime_args(exp)
     _add_profile_arg(exp)
+    _add_trace_arg(exp)
 
     from repro.devtools.lint import configure_parser as _configure_lint_parser
 
@@ -108,6 +123,20 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="recompute checksums and digests; exit 1 on corruption"
     )
     verify.add_argument("path", help="store directory")
+
+    trace = sub.add_parser("trace", help="inspect or re-export a recorded execution trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summarize = trace_sub.add_parser(
+        "summarize", help="print span/counter/lane tables for a JSONL trace"
+    )
+    summarize.add_argument("path", help="trace file written by --trace (JSONL)")
+
+    export = trace_sub.add_parser(
+        "export", help="re-export a JSONL trace (a .json destination -> Chrome trace JSON)"
+    )
+    export.add_argument("src", help="source trace file (JSONL)")
+    export.add_argument("dst", help="destination (.json -> Chrome trace-event, else JSONL)")
 
     return parser
 
@@ -145,27 +174,53 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
 def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", action="store_true",
-        help="print per-metric wall-time and cache hit/miss counts",
+        help="print per-metric wall-time, per-worker attribution, and cache hit/miss counts",
     )
 
 
-def _print_profile(profile: dict | None) -> None:
-    """Render a runtime profile dict as a summary table."""
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", dest="trace_out", metavar="PATH", default=None,
+        help="record an execution trace to PATH (.json -> Chrome trace-event "
+             "JSON for Perfetto, anything else -> JSONL span log)",
+    )
+
+
+def _emit_profile(profile: dict | None) -> None:
+    """Print the runtime profile table (diagnostics go to stderr, not stdout)."""
     if profile is None:
-        print("profile: unavailable (metrics were not evaluated via the runtime)")
+        print(
+            "profile: unavailable (metrics were not evaluated via the runtime)",
+            file=sys.stderr,
+        )
         return
-    hits = profile.get("cache_hits", 0)
-    misses = profile.get("cache_misses", 0)
-    print(
-        f"backend: {profile.get('backend', '?')}  workers: {profile.get('workers', 1)}  "
-        f"cache: {hits} hit(s) / {misses} miss(es)"
-    )
-    metric_seconds = profile.get("metric_seconds") or {}
-    print(f"{'metric':<24}{'snapshots':>10}{'total s':>12}{'mean ms':>12}")
-    for name, seconds in metric_seconds.items():
-        total = sum(seconds)
-        mean_ms = 1000.0 * total / len(seconds) if seconds else float("nan")
-        print(f"{name:<24}{len(seconds):>10d}{total:>12.3f}{mean_ms:>12.2f}")
+    from repro.obs import render_profile
+
+    print(render_profile(profile))
+
+
+@contextlib.contextmanager
+def _traced(path: str | None) -> Iterator[None]:
+    """Record a trace of the enclosed command when ``path`` is given.
+
+    Installs a lane-0 ``main`` recorder for the command's duration, then
+    writes the merged payload (parent lane plus any worker shards attached
+    by the runtime) to ``path``.  The write-confirmation note goes to
+    stderr so machine-readable stdout (``--json``) stays clean.
+    """
+    if path is None:
+        yield
+        return
+    from repro.obs import TraceRecorder, peak_rss_bytes, use_recorder, write_trace
+
+    recorder = TraceRecorder(lane=0, label="main")
+    with use_recorder(recorder):
+        try:
+            yield
+        finally:
+            recorder.gauge("worker.peak_rss_bytes", peak_rss_bytes())
+            fmt = write_trace(recorder.to_payload(), path)
+            print(f"trace: wrote {fmt} trace to {path}", file=sys.stderr)
 
 
 def _resolve_cache_dir(args: argparse.Namespace):
@@ -223,10 +278,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.graph.dynamic import DynamicGraph
     from repro.store.convert import materialize
 
-    stream = materialize(_load_events(args.trace))
-    origins = Counter(ev.origin for ev in stream.nodes)
-    graph = DynamicGraph(stream).final()
-    degrees = np.array([len(nbrs) for nbrs in graph.adjacency.values()])
+    with _traced(args.trace_out):
+        stream = materialize(_load_events(args.trace))
+        origins = Counter(ev.origin for ev in stream.nodes)
+        graph = DynamicGraph(stream).final()
+        degrees = np.array([len(nbrs) for nbrs in graph.adjacency.values()])
     print(f"trace      : {args.trace} (valid)")
     print(f"nodes      : {stream.num_nodes}  (origins: {dict(origins)})")
     print(f"edges      : {stream.num_edges}")
@@ -239,20 +295,21 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.metrics.timeseries import compute_metric_timeseries
     from repro.runtime import MetricSpec
 
-    stream = _load_events(args.trace)
     spec = MetricSpec(
         path_sample=args.path_sample,
         clustering_sample=args.clustering_sample,
         seed=args.seed,
         backend=args.backend,
     )
-    series = compute_metric_timeseries(
-        stream,
-        spec,
-        interval=args.interval,
-        workers=args.workers,
-        cache_dir=_resolve_cache_dir(args),
-    )
+    with _traced(args.trace_out):
+        stream = _load_events(args.trace)
+        series = compute_metric_timeseries(
+            stream,
+            spec,
+            interval=args.interval,
+            workers=args.workers,
+            cache_dir=_resolve_cache_dir(args),
+        )
     if args.json:
         import json
 
@@ -270,7 +327,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             row += f"{series.values[name][i]:22.4f}"
         print(row)
     if args.profile:
-        _print_profile(series.profile)
+        _emit_profile(series.profile)
     return 0
 
 
@@ -278,11 +335,12 @@ def _cmd_communities(args: argparse.Namespace) -> int:
     from repro.community.tracking import track_stream
     from repro.store.convert import materialize
 
-    stream = materialize(_load_events(args.trace))
-    tracker = track_stream(
-        stream, interval=args.interval, delta=args.delta,
-        min_size=args.min_size, seed=args.seed, backend=args.backend,
-    )
+    with _traced(args.trace_out):
+        stream = materialize(_load_events(args.trace))
+        tracker = track_stream(
+            stream, interval=args.interval, delta=args.delta,
+            min_size=args.min_size, seed=args.seed, backend=args.backend,
+        )
     print(f"{'day':>8} {'communities':>12} {'modularity':>11} {'similarity':>11}")
     for snap in tracker.snapshots:
         print(f"{snap.time:8.1f} {snap.num_communities:12d} "
@@ -369,18 +427,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
     targets = list_experiments() if args.experiment == "all" else [args.experiment]
     status = 0
-    for experiment in targets:
-        try:
-            run_experiment(experiment, ctx).print_summary()
-        except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        except ValueError as exc:
-            print(f"[{experiment}] skipped: {exc}")
-            status = 0
-    if args.profile:
-        _print_profile(ctx.metrics.profile)
+    with _traced(args.trace_out):
+        for experiment in targets:
+            try:
+                run_experiment(experiment, ctx).print_summary()
+            except KeyError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"[{experiment}] skipped: {exc}")
+                status = 0
+        if args.profile:
+            _emit_profile(ctx.metrics.profile)
     return status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, render_trace, write_trace
+
+    source = args.path if args.trace_command == "summarize" else args.src
+    try:
+        payload = read_jsonl(source)
+    except OSError as exc:
+        print(f"error: cannot read {source}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.trace_command == "summarize":
+        print(render_trace(payload))
+        return 0
+    fmt = write_trace(payload, args.dst)
+    print(f"wrote {fmt} trace to {args.dst}")
+    return 0
 
 
 _COMMANDS = {
@@ -391,6 +470,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
     "store": _cmd_store,
+    "trace": _cmd_trace,
 }
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "ParityManifestRule",
     "SetIterationRule",
     "UnorderedAccumulationRule",
+    "WALL_CLOCK_EXEMPT",
     "WallClockRule",
     "determinism_rules",
 ]
@@ -40,11 +41,22 @@ DETERMINISM_PACKAGES = frozenset(
 
 #: Packages that must be pure functions of their inputs (RPL004): the
 #: determinism set plus every other analysis-side library layer.  The
-#: runtime is included — its profiling timers are the sanctioned, and
-#: suppressed, exception.
+#: runtime is included — its profile timings come from the observability
+#: layer's clock, never from a direct stdlib read.
 PURE_PACKAGES = DETERMINISM_PACKAGES | frozenset(
     {"edges", "pa", "osnmerge", "util", "gen", "ml"}
 )
+
+#: The sole RPL004-exempt wall-clock site.  ``repro.obs`` owns the
+#: monotonic clock (``repro.obs.recorder``): spans read it internally and
+#: pure packages that need wall-time *metadata* import
+#: ``repro.obs.perf_counter`` instead of the stdlib.  Kept disjoint from
+#: :data:`PURE_PACKAGES` by construction; the engine never even runs the
+#: rule there.  Anything else that reads the clock — including new
+#: packages added without a LAYERS/PURE_PACKAGES decision — must carry a
+#: justified ``# repro: noqa[RPL004]`` or move its timing into obs.
+WALL_CLOCK_EXEMPT = frozenset({"obs"})
+assert not (WALL_CLOCK_EXEMPT & PURE_PACKAGES), "the exemption must stay exclusive"
 
 _SET_METHODS = frozenset(
     {"union", "intersection", "difference", "symmetric_difference"}

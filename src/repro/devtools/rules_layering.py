@@ -50,6 +50,7 @@ __all__ = [
 LAYERS: dict[str, int] = {
     "util": 0,
     "devtools": 0,
+    "obs": 0,
     "kernels": 1,
     "graph": 2,
     "metrics": 3,

@@ -12,12 +12,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.csr import CSRGraph
+from repro.obs import get_recorder
 
 __all__ = ["degree_assortativity_csr"]
 
 
 def degree_assortativity_csr(csr: CSRGraph) -> float:
     """CSR twin of :func:`repro.metrics.assortativity.degree_assortativity`."""
+    with get_recorder().span("kernels.assortativity", nodes=csr.num_nodes):
+        return _assortativity(csr)
+
+
+def _assortativity(csr: CSRGraph) -> float:
     degrees = csr.degrees
     source_degrees = np.repeat(degrees, degrees)
     target_degrees = degrees[csr.indices]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.csr import CSRGraph, gather_neighbors
+from repro.obs import get_recorder
 from repro.util.arrays import FloatArray, IntArray
 from repro.util.rng import make_rng
 
@@ -63,10 +64,14 @@ def average_clustering_csr(
     n = csr.num_nodes
     if n == 0:
         return float("nan")
-    if sample_size is not None and sample_size < n:
-        pool = np.sort(csr.node_ids)
-        sampled = make_rng(rng).choice(pool, size=sample_size, replace=False)
-        positions = csr.positions_of(sampled)
-    else:
-        positions = np.arange(n, dtype=np.int64)
-    return float(np.mean(clustering_coefficients(csr, positions)))
+    rec = get_recorder()
+    with rec.span("kernels.clustering", nodes=n):
+        if sample_size is not None and sample_size < n:
+            pool = np.sort(csr.node_ids)
+            sampled = make_rng(rng).choice(pool, size=sample_size, replace=False)
+            positions = csr.positions_of(sampled)
+        else:
+            positions = np.arange(n, dtype=np.int64)
+        if rec.enabled:
+            rec.count("kernels.clustering_nodes", int(positions.size))
+        return float(np.mean(clustering_coefficients(csr, positions)))

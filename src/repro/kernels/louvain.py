@@ -36,6 +36,7 @@ from collections.abc import Iterable, Mapping
 import numpy as np
 
 from repro.kernels.csr import CSRGraph
+from repro.obs import get_recorder
 from repro.util.arrays import FloatArray, IntArray
 
 __all__ = ["MAX_LEVELS", "MAX_PASSES_PER_LEVEL", "initial_assignment", "louvain_csr"]
@@ -106,17 +107,27 @@ def louvain_csr(
     self_w = np.zeros(n, dtype=np.float64)
     carried: list[IntArray] = [np.array([p], dtype=np.int64) for p in range(n)]
 
+    rec = get_recorder()
     levels = 0
-    while levels < MAX_LEVELS:
-        improved, node_label = _one_level_arrays(
-            indptr, indices, weights, self_w, node_label, delta, rng
-        )
-        levels += 1
-        if not improved:
-            break
-        indptr, indices, weights, self_w, node_label, carried = _aggregate_arrays(
-            indptr, indices, weights, self_w, node_label, carried
-        )
+    total_passes = 0
+    total_moves = 0
+    with rec.span("kernels.louvain", nodes=n):
+        while levels < MAX_LEVELS:
+            improved, node_label, passes, moves = _one_level_arrays(
+                indptr, indices, weights, self_w, node_label, delta, rng
+            )
+            levels += 1
+            total_passes += passes
+            total_moves += moves
+            if not improved:
+                break
+            indptr, indices, weights, self_w, node_label, carried = _aggregate_arrays(
+                indptr, indices, weights, self_w, node_label, carried
+            )
+        if rec.enabled:
+            rec.count("kernels.louvain_levels", levels)
+            rec.count("kernels.louvain_passes", total_passes)
+            rec.count("kernels.louvain_moves", total_moves)
 
     partition: dict[int, int] = {}
     for position, members in enumerate(carried):
@@ -134,8 +145,8 @@ def _one_level_arrays(
     node_label: IntArray,
     delta: float,
     rng: np.random.Generator,
-) -> tuple[bool, IntArray]:
-    """Local-move phase; returns (made structural progress, new labels)."""
+) -> tuple[bool, IntArray, int, int]:
+    """Local-move phase; returns (made progress, new labels, passes, moves)."""
     n = node_label.size
     degrees = np.diff(indptr)
     rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
@@ -143,7 +154,7 @@ def _one_level_arrays(
     k = np.bincount(rows, weights=weights, minlength=n) + 2.0 * self_w
     m2 = float(k.sum())
     if m2 == 0:
-        return False, node_label.copy()
+        return False, node_label.copy(), 0, 0
     uniq, comm = np.unique(node_label, return_inverse=True)
     comm_tot = np.bincount(comm, weights=k, minlength=uniq.size)
     order = rng.permutation(n).tolist()
@@ -157,7 +168,10 @@ def _one_level_arrays(
     comm_l = comm.tolist()
     comm_tot_l = comm_tot.tolist()
     any_move = False
+    passes = 0
+    moves = 0
     for _ in range(MAX_PASSES_PER_LEVEL):
+        passes += 1
         pass_gain = 0.0
         for u in order:
             lo = indptr_l[u]
@@ -193,10 +207,11 @@ def _one_level_arrays(
             if best_c != cu:
                 comm_l[u] = best_c
                 any_move = True
+                moves += 1
                 pass_gain += 2.0 * best_gain / m2
         if pass_gain < delta:
             break
-    return any_move, uniq[np.asarray(comm_l, dtype=np.int64)]
+    return any_move, uniq[np.asarray(comm_l, dtype=np.int64)], passes, moves
 
 
 def _aggregate_arrays(

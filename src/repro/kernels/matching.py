@@ -21,6 +21,8 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from repro.obs import get_recorder
+
 __all__ = ["match_communities_csr"]
 
 
@@ -39,6 +41,16 @@ def match_communities_csr(
     community shares no node with any lineage, and ``overlaps[label]`` is
     a Counter of per-lineage intersection sizes, keyed in ``raw`` order.
     """
+    with get_recorder().span(
+        "kernels.matching", communities=len(raw), lineages=len(prev_members)
+    ):
+        return _match(raw, prev_members)
+
+
+def _match(
+    raw: Mapping[int, frozenset[int]],
+    prev_members: Mapping[int, frozenset[int]],
+) -> tuple[dict[int, tuple[int, float] | None], dict[int, Counter[int]]]:
     labels = list(raw)
     parent: dict[int, tuple[int, float] | None] = {label: None for label in labels}
     overlaps: dict[int, Counter[int]] = {label: Counter() for label in labels}

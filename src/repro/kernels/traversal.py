@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.csr import CSRGraph, gather_neighbors
+from repro.obs import get_recorder
 from repro.util.arrays import IntArray
 
 __all__ = [
@@ -62,14 +63,15 @@ def connected_components_csr(csr: CSRGraph) -> list[set[int]]:
     """All components as node-id sets, largest first, ties by smallest member id."""
     if csr.num_nodes == 0:
         return []
-    labels, sizes = component_labels(csr)
-    order = np.argsort(labels, kind="stable")
-    boundaries = np.cumsum(sizes)[:-1]
-    components = [
-        set(ids.tolist()) for ids in np.split(csr.node_ids[order], boundaries)
-    ]
-    components.sort(key=lambda c: (-len(c), min(c)))
-    return components
+    with get_recorder().span("kernels.components", nodes=csr.num_nodes):
+        labels, sizes = component_labels(csr)
+        order = np.argsort(labels, kind="stable")
+        boundaries = np.cumsum(sizes)[:-1]
+        components = [
+            set(ids.tolist()) for ids in np.split(csr.node_ids[order], boundaries)
+        ]
+        components.sort(key=lambda c: (-len(c), min(c)))
+        return components
 
 
 def largest_component_csr(csr: CSRGraph) -> IntArray:
@@ -80,6 +82,11 @@ def largest_component_csr(csr: CSRGraph) -> IntArray:
     """
     if csr.num_nodes == 0:
         return np.empty(0, dtype=np.int64)
+    with get_recorder().span("kernels.components", nodes=csr.num_nodes):
+        return _largest_component(csr)
+
+
+def _largest_component(csr: CSRGraph) -> IntArray:
     labels, sizes = component_labels(csr)
     best = sizes.max()
     candidates = np.flatnonzero(sizes == best)
@@ -135,18 +142,23 @@ def average_path_length_csr(
     Draws the same sources (same sorted pool, same ``rng.choice`` call) and
     accumulates the same integer sums, so the returned float is identical.
     """
-    members = largest_component_csr(csr)
-    if members.size < 2:
-        return float("nan")
-    k = min(sample_size, int(members.size))
-    sources = rng.choice(members, size=k, replace=False)
-    positions = csr.positions_of(sources)
-    total = 0
-    count = 0
-    for position in positions:
-        t, c = bfs_distance_sum(csr, int(position))
-        total += t
-        count += c
-    if count == 0:
-        return float("nan")
-    return total / count
+    rec = get_recorder()
+    with rec.span("kernels.path_length", nodes=csr.num_nodes):
+        members = largest_component_csr(csr)
+        if members.size < 2:
+            return float("nan")
+        k = min(sample_size, int(members.size))
+        sources = rng.choice(members, size=k, replace=False)
+        positions = csr.positions_of(sources)
+        total = 0
+        count = 0
+        for position in positions:
+            t, c = bfs_distance_sum(csr, int(position))
+            total += t
+            count += c
+        if rec.enabled:
+            rec.count("kernels.bfs_sources", k)
+            rec.count("kernels.bfs_frontier_nodes", count)
+        if count == 0:
+            return float("nan")
+        return total / count

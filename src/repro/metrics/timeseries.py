@@ -40,8 +40,10 @@ class MetricTimeseries:
 
     ``profile`` is optional run metadata attached by the runtime layer
     (resolved backend, per-metric wall-clock seconds per snapshot, cache
-    hit/miss counts).  It describes how the numbers were produced, never
-    what they are, so it is excluded from equality.
+    hit/miss counts, and a ``worker_detail`` list attributing snapshots,
+    busy seconds, and cache traffic to each worker lane — lane 0 is the
+    parent/serial process).  It describes how the numbers were produced,
+    never what they are, so it is excluded from equality.
     """
 
     times: list[float] = field(default_factory=list)

@@ -69,7 +69,12 @@ def _profile(
     """Run metadata for :attr:`MetricTimeseries.profile`.
 
     A cache hit carries no timings (nothing was evaluated), so
-    ``metric_seconds`` maps every metric to an empty list in that case.
+    ``metric_seconds`` maps every metric to an empty list in that case and
+    ``worker_detail`` holds a single idle main row.
+
+    Cache traffic is attributed to worker 0 ("main") in ``worker_detail``:
+    only the parent process ever touches the result cache, so per-worker
+    cache columns are exact, not estimates.
     """
     from repro.kernels.backend import resolve_backend
 
@@ -80,4 +85,18 @@ def _profile(
     }
     profile["cache_hits"] = cache.hits if cache is not None else 0
     profile["cache_misses"] = cache.misses if cache is not None else 0
+    detail: list[dict[str, Any]] = profile.setdefault("worker_detail", [])
+    main = next((row for row in detail if row.get("worker") == 0), None)
+    if main is None:
+        main = {
+            "worker": 0,
+            "label": "main",
+            "snapshots": 0,
+            "seconds": 0.0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        detail.insert(0, main)
+    main["cache_hits"] = profile["cache_hits"]
+    main["cache_misses"] = profile["cache_misses"]
     return profile

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.graph.events import EventStream
 from repro.metrics.timeseries import MetricTimeseries
+from repro.obs import get_recorder
 from repro.runtime.spec import MetricSpec
 from repro.store.reader import EventStore
 
@@ -102,26 +103,38 @@ class ResultCache:
         this version cannot read) counts as a miss: the entry is recomputed
         and overwritten, never raised to the caller.
         """
-        path = self.path(key)
-        if not path.exists():
-            self.misses += 1
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                names = [str(name) for name in data["names"]]
-                times = data["times"]
-                values = data["values"]
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return MetricTimeseries(
-            times=times.tolist(),
-            values={name: values[i].tolist() for i, name in enumerate(names)},
-        )
+        rec = get_recorder()
+        with rec.span("cache.lookup"):
+            path = self.path(key)
+            if not path.exists():
+                self.misses += 1
+                if rec.enabled:
+                    rec.count("cache.misses", 1)
+                return None
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    names = [str(name) for name in data["names"]]
+                    times = data["times"]
+                    values = data["values"]
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                self.misses += 1
+                if rec.enabled:
+                    rec.count("cache.misses", 1)
+                return None
+            self.hits += 1
+            if rec.enabled:
+                rec.count("cache.hits", 1)
+            return MetricTimeseries(
+                times=times.tolist(),
+                values={name: values[i].tolist() for i, name in enumerate(names)},
+            )
 
     def store(self, key: str, series: MetricTimeseries) -> Path:
         """Atomically write ``series`` under ``key``; returns the entry path."""
+        with get_recorder().span("cache.store"):
+            return self._store(key, series)
+
+    def _store(self, key: str, series: MetricTimeseries) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         names = list(series.values)
         times = np.asarray(series.times, dtype=np.float64)

@@ -14,7 +14,6 @@ from __future__ import annotations
 import bisect
 import contextlib
 import multiprocessing
-import time as time_module
 from collections.abc import Callable, Iterator
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
@@ -25,6 +24,14 @@ from repro.graph.events import EventStream
 from repro.kernels.backend import resolve_backend
 from repro.kernels.csr import CSRGraph
 from repro.metrics.timeseries import MetricTimeseries
+from repro.obs import (
+    TraceRecorder,
+    attach_shards,
+    get_recorder,
+    peak_rss_bytes,
+    perf_counter,
+    use_recorder,
+)
 from repro.runtime.spec import MetricSpec, snapshot_times
 from repro.store.reader import EventStore
 
@@ -34,6 +41,11 @@ __all__ = ["evaluate_timeseries"]
 # order, per-metric wall-clock seconds in the same order).
 Row = tuple[int, float, list[float], list[float]]
 
+# What one window sends back: its rows plus, when tracing, the worker's
+# recorder shard (a plain dict — no recorder object crosses the process
+# boundary).
+WindowResult = tuple[list[Row], dict[str, Any] | None]
+
 # Worker-process globals.  Under fork they are set in the parent right
 # before the pool starts and inherited copy-on-write — the multi-megabyte
 # event stream is never pickled.  Under spawn they are installed per worker
@@ -41,23 +53,26 @@ Row = tuple[int, float, list[float], list[float]]
 _WORKER_STREAM: EventStream | None = None
 _WORKER_SPEC: MetricSpec | None = None
 _WORKER_STORE: EventStore | None = None
+_WORKER_TRACING: bool = False
 
 
-def _init_worker(stream: EventStream, spec: MetricSpec) -> None:
-    global _WORKER_STREAM, _WORKER_SPEC
+def _init_worker(stream: EventStream, spec: MetricSpec, tracing: bool = False) -> None:
+    global _WORKER_STREAM, _WORKER_SPEC, _WORKER_TRACING
     _WORKER_STREAM = stream
     _WORKER_SPEC = spec
+    _WORKER_TRACING = tracing
 
 
-def _init_store_worker(store_path: str, spec: MetricSpec) -> None:
+def _init_store_worker(store_path: str, spec: MetricSpec, tracing: bool = False) -> None:
     """Install the store-backed worker state: a memmap handle, not a stream.
 
     Opening a store is O(chunks) stat calls; the event payload itself
     stays on disk and each window materializes only its own chunk rows.
     """
-    global _WORKER_STORE, _WORKER_SPEC
+    global _WORKER_STORE, _WORKER_SPEC, _WORKER_TRACING
     _WORKER_STORE = EventStore(store_path)
     _WORKER_SPEC = spec
+    _WORKER_TRACING = tracing
 
 
 def _evaluate_rows(
@@ -76,38 +91,80 @@ def _evaluate_rows(
     the conversion cost amortizes across the suite.
     """
     use_csr = resolve_backend(spec.backend) == "csr"
+    rec = get_recorder()
     rows: list[Row] = []
     for index, time in indexed_times:
-        view = replay.advance_to(time)
+        node_before, edge_before = replay.node_cursor, replay.edge_cursor
+        with rec.span("replay.advance", snapshot=index):
+            view = replay.advance_to(time)
+        if rec.enabled:
+            rec.count(
+                "replay.events",
+                (replay.node_cursor - node_before) + (replay.edge_cursor - edge_before),
+            )
         if view.graph.num_nodes == 0:
             continue
-        csr = CSRGraph.from_snapshot(view.graph) if use_csr else None
+        if use_csr:
+            with rec.span("kernels.csr_build", snapshot=index):
+                csr = CSRGraph.from_snapshot(view.graph)
+        else:
+            csr = None
         fns = spec.build(index)
         values: list[float] = []
         seconds: list[float] = []
         # Profiling metadata only: the timings feed --profile and never
         # influence any computed metric value.
         for name in spec.names:
-            began = time_module.perf_counter()  # repro: noqa[RPL004] -- profile only
-            values.append(fns[name](view.graph, csr))
-            seconds.append(time_module.perf_counter() - began)  # repro: noqa[RPL004] -- profile only
+            with rec.span(f"metric.{name}", snapshot=index):
+                began = perf_counter()
+                values.append(fns[name](view.graph, csr))
+                seconds.append(perf_counter() - began)
         rows.append((index, time, values, seconds))
+        if rec.enabled:
+            rec.count("runtime.snapshots", 1)
     return rows
 
 
-def _run_window(payload: tuple[ReplayCheckpoint, list[tuple[int, float]]]) -> list[Row]:
-    checkpoint, indexed_times = payload
+def _traced_rows(lane: int, evaluate: Callable[[], list[Row]]) -> WindowResult:
+    """Run one window's evaluation, collecting a trace shard when enabled.
+
+    Tracing installs a fresh per-process :class:`TraceRecorder` whose lane
+    is the *window index* (1-based; lane 0 is the parent) — a stable
+    identity independent of which OS process picked the window up — so the
+    merged trace is deterministic under any scheduling.  The recorder is
+    purely observational: it consumes no randomness, so the rows are
+    bit-identical with tracing on or off.
+    """
+    if not _WORKER_TRACING:
+        return evaluate(), None
+    recorder = TraceRecorder(lane=lane, label=f"worker-{lane}")
+    with use_recorder(recorder):
+        rows = evaluate()
+        recorder.gauge("worker.peak_rss_bytes", peak_rss_bytes())
+    return rows, recorder.shard()
+
+
+def _run_window(payload: tuple[int, ReplayCheckpoint, list[tuple[int, float]]]) -> WindowResult:
+    lane, checkpoint, indexed_times = payload
     assert _WORKER_STREAM is not None and _WORKER_SPEC is not None
-    replay = DynamicGraph.from_checkpoint(_WORKER_STREAM, checkpoint)
-    return _evaluate_rows(replay, _WORKER_SPEC, indexed_times)
+    stream, spec = _WORKER_STREAM, _WORKER_SPEC
+
+    def evaluate() -> list[Row]:
+        replay = DynamicGraph.from_checkpoint(stream, checkpoint)
+        return _evaluate_rows(replay, spec, indexed_times)
+
+    return _traced_rows(lane, evaluate)
 
 
-# Store-window payload: the checkpoint, this window's half-open event-index
-# ranges [node_lo, node_hi) / [edge_lo, edge_hi), and its snapshot times.
-StoreWindow = tuple[ReplayCheckpoint, tuple[int, int], tuple[int, int], list[tuple[int, float]]]
+# Store-window payload: the lane, the checkpoint, this window's half-open
+# event-index ranges [node_lo, node_hi) / [edge_lo, edge_hi), and its
+# snapshot times.
+StoreWindow = tuple[
+    int, ReplayCheckpoint, tuple[int, int], tuple[int, int], list[tuple[int, float]]
+]
 
 
-def _run_store_window(payload: StoreWindow) -> list[Row]:
+def _run_store_window(payload: StoreWindow) -> WindowResult:
     """Evaluate one window reading only its own chunk rows from the store.
 
     The checkpoint's cursors are rebased to zero against the window-local
@@ -115,14 +172,19 @@ def _run_store_window(payload: StoreWindow) -> list[Row]:
     graph already contains, so replay — and therefore every metric value —
     is bit-identical to the full-stream path.
     """
-    checkpoint, (node_lo, node_hi), (edge_lo, edge_hi), indexed_times = payload
+    lane, checkpoint, (node_lo, node_hi), (edge_lo, edge_hi), indexed_times = payload
     assert _WORKER_STORE is not None and _WORKER_SPEC is not None
-    substream = _WORKER_STORE.slice_events(node_lo, node_hi, edge_lo, edge_hi)
-    rebased = ReplayCheckpoint(
-        time=checkpoint.time, node_index=0, edge_index=0, csr=checkpoint.csr
-    )
-    replay = DynamicGraph.from_checkpoint(substream, rebased)
-    return _evaluate_rows(replay, _WORKER_SPEC, indexed_times)
+    store, spec = _WORKER_STORE, _WORKER_SPEC
+
+    def evaluate() -> list[Row]:
+        substream = store.slice_events(node_lo, node_hi, edge_lo, edge_hi)
+        rebased = ReplayCheckpoint(
+            time=checkpoint.time, node_index=0, edge_index=0, csr=checkpoint.csr
+        )
+        replay = DynamicGraph.from_checkpoint(substream, rebased)
+        return _evaluate_rows(replay, spec, indexed_times)
+
+    return _traced_rows(lane, evaluate)
 
 
 def _window_weights(stream: EventStream, times: list[float]) -> list[float]:
@@ -199,8 +261,9 @@ def evaluate_timeseries(
     indexed = list(enumerate(times))
     if workers == 1 or len(indexed) < 2:
         rows = _evaluate_rows(DynamicGraph(stream), spec, indexed)
+        detail = [_worker_stat(0, "main", rows)]
     else:
-        rows = _evaluate_parallel(stream, spec, indexed, workers, store)
+        rows, detail = _evaluate_parallel(stream, spec, indexed, workers, store)
     series = MetricTimeseries(values={name: [] for name in spec.names})
     metric_seconds: dict[str, list[float]] = {name: [] for name in spec.names}
     for _, time, values, seconds in sorted(rows):
@@ -212,8 +275,21 @@ def evaluate_timeseries(
         "backend": resolve_backend(spec.backend),
         "workers": workers,
         "metric_seconds": metric_seconds,
+        "worker_detail": detail,
     }
     return series
+
+
+def _worker_stat(lane: int, label: str, rows: list[Row]) -> dict[str, Any]:
+    """One ``worker_detail`` profile row: who evaluated what, for how long."""
+    return {
+        "worker": lane,
+        "label": label,
+        "snapshots": len(rows),
+        "seconds": sum(sum(seconds) for _, _, _, seconds in rows),
+        "cache_hits": 0,
+        "cache_misses": 0,
+    }
 
 
 def _evaluate_parallel(
@@ -222,7 +298,9 @@ def _evaluate_parallel(
     indexed: list[tuple[int, float]],
     workers: int,
     store: EventStore | None = None,
-) -> list[Row]:
+) -> tuple[list[Row], list[dict[str, Any]]]:
+    rec = get_recorder()
+    tracing = rec.enabled
     chunks = _partition(_window_weights(stream, [t for _, t in indexed]), workers)
     # One structural replay to place a checkpoint at each window boundary.
     # This is O(events) with no metric work, so it is cheap relative to the
@@ -230,58 +308,73 @@ def _evaluate_parallel(
     # yields each window's event-index range, which is all a worker needs
     # to pull its slice out of the store.
     payloads: list[Any] = []
-    replay = DynamicGraph(stream)
-    for chunk in chunks:
-        checkpoint = replay.checkpoint()
-        replay.advance_to(indexed[chunk[-1]][1])
-        window_times = [indexed[i] for i in chunk]
-        if store is not None:
-            payloads.append(
-                (
-                    checkpoint,
-                    (checkpoint.node_index, replay.node_cursor),
-                    (checkpoint.edge_index, replay.edge_cursor),
-                    window_times,
+    with rec.span("replay.checkpoints", windows=len(chunks)):
+        replay = DynamicGraph(stream)
+        for lane0, chunk in enumerate(chunks):
+            lane = 1 + lane0
+            checkpoint = replay.checkpoint()
+            replay.advance_to(indexed[chunk[-1]][1])
+            window_times = [indexed[i] for i in chunk]
+            if store is not None:
+                payloads.append(
+                    (
+                        lane,
+                        checkpoint,
+                        (checkpoint.node_index, replay.node_cursor),
+                        (checkpoint.edge_index, replay.edge_cursor),
+                        window_times,
+                    )
                 )
-            )
-        else:
-            payloads.append((checkpoint, window_times))
+            else:
+                payloads.append((lane, checkpoint, window_times))
     context = _mp_context()
     pool_kwargs: dict[str, Any] = {}
     handoff: contextlib.AbstractContextManager[None] = contextlib.nullcontext()
-    run: Callable[[Any], list[Row]]
+    run: Callable[[Any], WindowResult]
     if store is not None:
         # The store path is tiny and the chunk pages are shared through the
         # page cache, so both fork and spawn use the same initializer.
         run = _run_store_window
-        pool_kwargs = {"initializer": _init_store_worker, "initargs": (str(store.path), spec)}
+        pool_kwargs = {
+            "initializer": _init_store_worker,
+            "initargs": (str(store.path), spec, tracing),
+        }
     elif context.get_start_method() == "fork":
         run = _run_window
-        handoff = _inherited_globals(stream, spec)
+        handoff = _inherited_globals(stream, spec, tracing)
     else:
         run = _run_window
-        pool_kwargs = {"initializer": _init_worker, "initargs": (stream, spec)}
+        pool_kwargs = {"initializer": _init_worker, "initargs": (stream, spec, tracing)}
     rows: list[Row] = []
-    with handoff:
-        with ProcessPoolExecutor(
-            max_workers=len(payloads), mp_context=context, **pool_kwargs
-        ) as pool:
-            for window_rows in pool.map(run, payloads):
-                rows.extend(window_rows)
-    return rows
+    detail: list[dict[str, Any]] = []
+    shards: list[dict[str, Any]] = []
+    with rec.span("runtime.pool", windows=len(payloads)):
+        with handoff:
+            with ProcessPoolExecutor(
+                max_workers=len(payloads), mp_context=context, **pool_kwargs
+            ) as pool:
+                for lane0, (window_rows, shard) in enumerate(pool.map(run, payloads)):
+                    rows.extend(window_rows)
+                    detail.append(_worker_stat(1 + lane0, f"worker-{1 + lane0}", window_rows))
+                    if shard is not None:
+                        shards.append(shard)
+    attach_shards(rec, shards)
+    return rows, detail
 
 
 @contextlib.contextmanager
-def _inherited_globals(stream: EventStream, spec: MetricSpec) -> Iterator[None]:
+def _inherited_globals(
+    stream: EventStream, spec: MetricSpec, tracing: bool
+) -> Iterator[None]:
     """Expose the stream/spec to fork-children via the parent's module state.
 
     Workers are forked lazily on first submit, inside this scope, so they
     inherit the globals; the parent restores its state on exit.
     """
-    global _WORKER_STREAM, _WORKER_SPEC
-    previous = (_WORKER_STREAM, _WORKER_SPEC)
-    _WORKER_STREAM, _WORKER_SPEC = stream, spec
+    global _WORKER_STREAM, _WORKER_SPEC, _WORKER_TRACING
+    previous = (_WORKER_STREAM, _WORKER_SPEC, _WORKER_TRACING)
+    _WORKER_STREAM, _WORKER_SPEC, _WORKER_TRACING = stream, spec, tracing
     try:
         yield
     finally:
-        _WORKER_STREAM, _WORKER_SPEC = previous
+        _WORKER_STREAM, _WORKER_SPEC, _WORKER_TRACING = previous

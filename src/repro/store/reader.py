@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.graph.events import EdgeArrival, EventStream, NodeArrival
+from repro.obs import get_recorder
 from repro.store.format import (
     EDGE_COLUMNS,
     MANIFEST_NAME,
@@ -79,6 +80,13 @@ class _ChunkIndex:
         if cols is None:
             cols = map_chunk(self.root, self.chunks[index], self.columns)
             self._maps[index] = cols
+            rec = get_recorder()
+            if rec.enabled:
+                rec.count("store.chunks_mapped", 1)
+                rec.count(
+                    "store.bytes_mapped",
+                    chunk_nbytes(self.columns, self.chunks[index].count),
+                )
         return cols
 
     def column(self, name: str) -> np.ndarray:
@@ -266,9 +274,16 @@ class EventStore:
         the chunk rows of its own window instead of receiving a pickled
         copy of the whole stream.
         """
-        node_cols = self._nodes.rows(node_lo, node_hi)
-        edge_cols = self._edges.rows(edge_lo, edge_hi)
-        return self._build_stream(node_cols, edge_cols)
+        rec = get_recorder()
+        with rec.span(
+            "store.slice", node_events=node_hi - node_lo, edge_events=edge_hi - edge_lo
+        ):
+            node_cols = self._nodes.rows(node_lo, node_hi)
+            edge_cols = self._edges.rows(edge_lo, edge_hi)
+            stream = self._build_stream(node_cols, edge_cols)
+            if rec.enabled:
+                rec.count("store.events_decoded", len(stream.nodes) + len(stream.edges))
+            return stream
 
     def to_stream(self, validate: bool = False) -> EventStream:
         """Decode the whole store into an :class:`EventStream`.
@@ -276,12 +291,19 @@ class EventStore:
         The stream's content digest is pre-seeded from the manifest, so
         cache lookups on it cost nothing.
         """
-        stream = self._build_stream(
-            self._nodes.rows(0, self._nodes.total), self._edges.rows(0, self._edges.total)
-        )
-        if validate:
-            stream.validate()
-        return stream
+        rec = get_recorder()
+        with rec.span(
+            "store.decode", node_events=self._nodes.total, edge_events=self._edges.total
+        ):
+            stream = self._build_stream(
+                self._nodes.rows(0, self._nodes.total),
+                self._edges.rows(0, self._edges.total),
+            )
+            if rec.enabled:
+                rec.count("store.events_decoded", len(stream.nodes) + len(stream.edges))
+            if validate:
+                stream.validate()
+            return stream
 
     def _build_stream(
         self, node_cols: dict[str, np.ndarray], edge_cols: dict[str, np.ndarray]

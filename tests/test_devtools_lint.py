@@ -145,6 +145,34 @@ class TestWallClockRule:
         result = lint_tree(tmp_path, {"analysis/ok.py": src}, [WallClockRule()])
         assert codes(result) == []
 
+    def test_obs_package_exempt(self, tmp_path):
+        # repro.obs is the one sanctioned wall-clock site: the recorder's
+        # monotonic clock lives there (WALL_CLOCK_EXEMPT) and everything
+        # else imports repro.obs.perf_counter instead of the stdlib.
+        src = "import time\nperf_counter = time.perf_counter\n"
+        result = lint_tree(tmp_path, {"obs/recorder.py": src}, [WallClockRule()])
+        assert codes(result) == []
+
+    def test_rule_still_fires_alongside_obs(self, tmp_path):
+        # The obs exemption must not loosen the rule anywhere else: the
+        # same clock read in a pure package stays an error even when an
+        # exempt obs module sits in the same tree.
+        files = {
+            "obs/recorder.py": "import time\nclock = time.perf_counter\n",
+            "runtime/bad.py": "import time\nt = time.perf_counter()\n",
+        }
+        result = lint_tree(tmp_path, files, [WallClockRule()])
+        assert codes(result) == ["RPL004"]
+
+    def test_exemption_disjoint_from_pure_packages(self):
+        # A package cannot be both bit-reproducible and clock-reading;
+        # the module-level assert enforces this at import, the test keeps
+        # it visible.
+        from repro.devtools.rules_determinism import PURE_PACKAGES, WALL_CLOCK_EXEMPT
+
+        assert not (WALL_CLOCK_EXEMPT & PURE_PACKAGES)
+        assert "obs" in WALL_CLOCK_EXEMPT
+
 
 class TestParityManifestRule:
     def test_unregistered_dispatcher_flagged(self, tmp_path):
