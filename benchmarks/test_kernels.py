@@ -38,6 +38,13 @@ from repro.metrics.paths import average_path_length_sampled
 SPEEDUP_FLOOR = 5.0  # default scale
 QUICK_FLOOR = 1.0  # smoke workload: CSR must simply not be slower
 
+_PRESETS = {
+    "tiny": presets.tiny,
+    "small": presets.small,
+    "medium": presets.medium,
+    "paper_scale_small": presets.paper_scale_small,
+}
+
 
 def _kernel_suite(path_sample: int, clustering_sample: int):
     """name → fn(graph, csr, backend) for every kernel-enabled function."""
@@ -56,16 +63,17 @@ def _kernel_suite(path_sample: int, clustering_sample: int):
     }
 
 
-def run_bench(quick: bool = False, seed: int = 7) -> dict:
+def run_bench(quick: bool = False, seed: int = 7, preset: str | None = None) -> dict:
     """Time the kernel suite under both backends; returns the report dict."""
     if quick:
-        config, preset = presets.tiny(), "tiny"
+        preset = preset or "tiny"
         path_sample, clustering_sample = 60, 300
         fractions = (1.0,)
     else:
-        config, preset = presets.small(), "small"
+        preset = preset or "small"
         path_sample, clustering_sample = 400, 1500
         fractions = (0.5, 1.0)
+    config = _PRESETS[preset]()
     stream = generate_trace(config, seed=seed)
     replay = DynamicGraph(stream)
     snapshots = []
@@ -142,9 +150,15 @@ def test_kernels_aggregate_speedup():
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="CSR kernel benchmark harness")
     parser.add_argument("--quick", action="store_true", help="seconds-long smoke workload")
+    parser.add_argument(
+        "--preset",
+        default=None,
+        choices=sorted(_PRESETS),
+        help="generator preset (default: tiny under --quick, else small)",
+    )
     parser.add_argument("--out", default=None, help="write the report as JSON to this path")
     args = parser.parse_args(argv)
-    report = run_bench(quick=args.quick)
+    report = run_bench(quick=args.quick, preset=args.preset)
     print_report(report)
     if args.out:
         with open(args.out, "w") as handle:

@@ -83,16 +83,25 @@ def _null_site_cost_s(iters: int = 200_000) -> float:
     return (time.perf_counter() - began) / iters
 
 
-def run_bench(quick: bool = False, seed: int = 7) -> dict:
+_PRESETS = {
+    "tiny": presets.tiny,
+    "small": presets.small,
+    "medium": presets.medium,
+    "paper_scale_small": presets.paper_scale_small,
+}
+
+
+def run_bench(quick: bool = False, seed: int = 7, preset: str | None = None) -> dict:
     """Measure disabled-path overhead and tracing parity; returns the report."""
     if quick:
-        config, preset = presets.tiny(), "tiny"
+        preset = preset or "tiny"
         spec = MetricSpec(path_sample=60, clustering_sample=300, seed=seed, backend="csr")
         interval = 10.0
     else:
-        config, preset = presets.small(), "small"
+        preset = preset or "small"
         spec = MetricSpec(path_sample=200, clustering_sample=800, seed=seed, backend="csr")
         interval = 10.0
+    config = _PRESETS[preset]()
     stream = generate_trace(config, seed=seed)
 
     # 1. The production disabled path, timed.
@@ -164,13 +173,19 @@ def test_obs_disabled_overhead():
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="observability overhead benchmark harness")
     parser.add_argument("--quick", action="store_true", help="seconds-long smoke workload")
+    parser.add_argument(
+        "--preset",
+        default=None,
+        choices=sorted(_PRESETS),
+        help="generator preset (default: tiny under --quick, else small)",
+    )
     parser.add_argument("--out", default=None, help="write the report as JSON to this path")
     parser.add_argument(
         "--trace-out", default=None,
         help="also write the traced run's trace here (.json -> Chrome trace-event)",
     )
     args = parser.parse_args(argv)
-    report = run_bench(quick=args.quick)
+    report = run_bench(quick=args.quick, preset=args.preset)
     payload = report.pop("_trace_payload")
     print_report(report)
     if args.trace_out:

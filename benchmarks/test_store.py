@@ -82,12 +82,21 @@ def _assert_window_parity(
         assert list(zip(us.tolist(), vs.tolist())) == [(ev.u, ev.v) for ev in sub.edges]
 
 
-def run_bench(quick: bool = False, seed: int = 7) -> dict:
+_PRESETS = {
+    "tiny": presets.tiny,
+    "small": presets.small,
+    "medium": presets.medium,
+    "paper_scale_small": presets.paper_scale_small,
+}
+
+
+def run_bench(quick: bool = False, seed: int = 7, preset: str | None = None) -> dict:
     """Time TSV-parse-and-slice vs store-open-and-scan; returns the report."""
     if quick:
-        config, preset, trials = presets.tiny(), "tiny", 3
+        preset, trials = preset or "tiny", 3
     else:
-        config, preset, trials = presets.small(), "small", 5
+        preset, trials = preset or "small", 5
+    config = _PRESETS[preset]()
     stream = generate_trace(config, seed=seed)
     windows = _window_grid(stream.end_time)
 
@@ -158,9 +167,15 @@ def test_store_open_scan_speedup():
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="columnar store benchmark harness")
     parser.add_argument("--quick", action="store_true", help="seconds-long smoke workload")
+    parser.add_argument(
+        "--preset",
+        default=None,
+        choices=sorted(_PRESETS),
+        help="generator preset (default: tiny under --quick, else small)",
+    )
     parser.add_argument("--out", default=None, help="write the report as JSON to this path")
     args = parser.parse_args(argv)
-    report = run_bench(quick=args.quick)
+    report = run_bench(quick=args.quick, preset=args.preset)
     print_report(report)
     if args.out:
         with open(args.out, "w") as handle:

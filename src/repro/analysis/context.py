@@ -34,8 +34,11 @@ class AnalysisContext:
     timeseries every Figure-1 panel reads is evaluated in a process pool
     when ``workers > 1`` and persisted/reused across processes when
     ``cache_dir`` names a directory.  ``backend`` selects the kernel
-    implementation (:mod:`repro.kernels`).  Results are identical in
-    every combination.
+    implementation (:mod:`repro.kernels`); the metric timeseries is
+    bit-identical in every combination, and ``backend="delta"`` routes the
+    replay-shaped paths (metric suite, community tracking) through the
+    incremental engine — warm-start Louvain then follows a tolerance
+    contract rather than bit-parity (``docs/incremental.md``).
     """
 
     def __init__(

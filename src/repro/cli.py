@@ -42,7 +42,7 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-_PRESETS = ("tiny", "tiny_merge", "small", "merge_study", "paper_scale_small")
+_PRESETS = ("tiny", "tiny_merge", "small", "medium", "merge_study", "paper_scale_small")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,8 +166,9 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--backend", choices=("auto", "python", "csr"), default="auto",
-        help="kernel implementation; 'auto' honours $REPRO_BACKEND, else csr",
+        "--backend", choices=("auto", "python", "csr", "delta"), default="auto",
+        help="kernel implementation; 'auto' honours $REPRO_BACKEND, else csr; "
+        "'delta' runs the incremental engine where the call supports it",
     )
 
 

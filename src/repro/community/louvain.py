@@ -25,7 +25,7 @@ same API and δ semantics, bit-identical for identical RNG draws.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -78,6 +78,7 @@ def louvain(
     *,
     backend: str = "auto",
     csr: CSRGraph | None = None,
+    touched: Iterable[int] | None = None,
 ) -> LouvainResult:
     """Run Louvain on ``graph`` with stopping threshold ``delta``.
 
@@ -85,11 +86,41 @@ def louvain(
     labels; nodes missing from it start as singletons.  ``csr`` optionally
     reuses a prebuilt :class:`~repro.kernels.csr.CSRGraph` of the same
     snapshot when the csr backend is selected.
+
+    ``backend="delta"`` runs the paper's *warm-start* Louvain
+    (:func:`repro.kernels.delta.louvain_warm_csr`): level-0 local moves
+    are restricted to ``touched`` nodes (those whose incident structure
+    changed since ``seed_partition``) plus their neighborhoods.  With no
+    ``touched`` argument, every node absent from ``seed_partition`` counts
+    as touched.  Without a ``seed_partition`` there is nothing to warm
+    from, so the first call runs the ordinary csr level loop.  Warm starts
+    satisfy a tolerance contract, not bit-parity — see
+    ``docs/incremental.md``.
     """
     if delta < 0:
         raise ValueError(f"delta must be non-negative, got {delta}")
     rng = make_rng(seed)
-    if resolve_backend(backend) == "csr":
+    resolved = resolve_backend(backend, allow_delta=True)
+    if resolved == "delta" and seed_partition is not None:
+        from repro.kernels.csr import CSRGraph as _CSRGraph
+        from repro.kernels.delta import louvain_warm_csr
+
+        if touched is None:
+            touched = [u for u in graph.adjacency if u not in seed_partition]
+        touched_arr = np.fromiter(sorted(touched), dtype=np.int64)
+        partition, levels = louvain_warm_csr(
+            csr if csr is not None else _CSRGraph.from_snapshot(graph),
+            delta,
+            dict(seed_partition),
+            touched_arr,
+            rng,
+        )
+        return LouvainResult(
+            partition=partition,
+            modularity=modularity(graph, partition),
+            levels=levels,
+        )
+    if resolved in ("csr", "delta"):
         from repro.kernels.csr import CSRGraph as _CSRGraph
         from repro.kernels.louvain import louvain_csr
 

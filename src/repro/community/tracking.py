@@ -167,14 +167,26 @@ class CommunityTracker:
 
     # -- public API -----------------------------------------------------
 
-    def step(self, time: float, graph: GraphSnapshot) -> TrackedSnapshot:
-        """Process the next snapshot and return its tracked view."""
+    def step(
+        self,
+        time: float,
+        graph: GraphSnapshot,
+        touched: Iterable[int] | None = None,
+    ) -> TrackedSnapshot:
+        """Process the next snapshot and return its tracked view.
+
+        ``touched`` (delta backend) lists the nodes whose incident
+        structure changed since the previous step; it seeds the warm-start
+        Louvain's restricted level-0 scan and is ignored by the batch
+        backends.
+        """
         result = louvain(
             graph,
             delta=self.delta,
             seed_partition=self._prev_partition,
             seed=self._rng,
             backend=self.backend,
+            touched=touched,
         )
         # Label-sorted: iteration order over ``raw`` decides birth lineage
         # numbering and tie-breaks downstream, and label values (unlike dict
@@ -421,13 +433,27 @@ def track_stream(
     Mirrors the paper's setup: 3-day snapshots, starting once the network
     has at least ``min_nodes`` nodes (the paper starts at day 20 / 64
     nodes), considering only communities larger than ``min_size``.
+
+    Under ``backend="delta"`` the replay accumulates each window's arrival
+    events into a touched-node set (carried across skipped warm-up
+    windows), so every Louvain call after the first runs the warm-start
+    kernel restricted to the nodes that actually changed.
     """
     tracker = CommunityTracker(delta=delta, min_size=min_size, seed=seed, backend=backend)
+    use_delta = resolve_backend(backend, allow_delta=True) == "delta"
     replay = DynamicGraph(stream)
+    pending: set[int] = set()
     for view in replay.snapshots(interval=interval, start=start):
+        if use_delta:
+            pending.update(view.new_nodes)
+            for u, v in view.new_edges:
+                pending.add(u)
+                pending.add(v)
         if view.graph.num_nodes < min_nodes:
             continue
-        tracker.step(view.time, view.graph)
+        touched = tuple(sorted(pending)) if use_delta else None
+        tracker.step(view.time, view.graph, touched=touched)
+        pending.clear()
     return tracker
 
 

@@ -13,7 +13,13 @@ manifest cannot silently rot.
 
 from __future__ import annotations
 
-__all__ = ["PARITY_COVERED", "PARITY_EXEMPT", "PARITY_TEST_FILE"]
+__all__ = [
+    "DELTA_PARITY_COVERED",
+    "DELTA_PARITY_TEST_FILE",
+    "PARITY_COVERED",
+    "PARITY_EXEMPT",
+    "PARITY_TEST_FILE",
+]
 
 # The test module the coverage references point into.
 PARITY_TEST_FILE = "tests/test_kernels_parity.py"
@@ -28,6 +34,23 @@ PARITY_COVERED: dict[str, str] = {
     "repro.metrics.clustering.average_clustering": "test_average_clustering_parity",
     "repro.metrics.clustering.local_clustering": "test_local_clustering_parity",
     "repro.metrics.paths.average_path_length_sampled": "test_path_length_parity",
+}
+
+# The ``"delta"`` backend's parity/tolerance harness.  The incremental
+# engine is a third implementation of the covered dispatchers plus the
+# runtime suite: degree / clustering / assortativity (and the whole
+# MetricSpec timeseries) must be *bit-identical* to the batch backends,
+# while warm-start Louvain carries a documented modularity-tolerance
+# contract instead.  Cross-checked against DELTA_PARITY_TEST_FILE by
+# ``tests/test_devtools_lint.py`` exactly like PARITY_COVERED.
+DELTA_PARITY_TEST_FILE = "tests/test_delta_parity.py"
+
+DELTA_PARITY_COVERED: dict[str, str] = {
+    "repro.community.louvain.louvain": "test_warm_start_tolerance_contract",
+    "repro.community.tracking.track_stream": "test_tracking_delta_backend_runs",
+    "repro.kernels.delta.DeltaCSRGraph.to_csr": "test_delta_csr_matches_batch_build",
+    "repro.kernels.delta.DeltaMetricEngine": "test_engine_metrics_bit_identical",
+    "repro.runtime.parallel.evaluate_timeseries": "test_timeseries_delta_bit_identical",
 }
 
 # Dispatcher qualname -> why it needs no parity test of its own.

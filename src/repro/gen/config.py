@@ -260,6 +260,16 @@ class presets:
         )
 
     @staticmethod
+    def medium(days: float = 200.0, target_nodes: int = 14000) -> GeneratorConfig:
+        """Weekly-benchmark scale between :meth:`small` and :meth:`paper_scale_small`.
+
+        Same merge/dip proportions as :meth:`small`; the growth rate keeps
+        the pre-merge population share comparable at the larger node count.
+        """
+        cfg = presets.small(days=days, target_nodes=target_nodes, growth_rate=0.026)
+        return replace(cfg, pa_halflife_edges=8000)
+
+    @staticmethod
     def paper_scale_small(days: float = 240.0, target_nodes: int = 20000) -> GeneratorConfig:
         """Bench scale (~20K nodes); same proportions as :meth:`small`."""
         cfg = presets.small(days=days, target_nodes=target_nodes, growth_rate=0.022)

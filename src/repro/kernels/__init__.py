@@ -15,6 +15,9 @@ Layout:
   coefficients;
 * :mod:`~repro.kernels.assortativity` — vectorized degree assortativity;
 * :mod:`~repro.kernels.louvain` — flat-array Louvain local moves;
+* :mod:`~repro.kernels.delta` — the incremental ``"delta"`` backend:
+  append-friendly CSR, event-delta metric accumulators, warm-start
+  Louvain;
 * :mod:`~repro.kernels.matching` — contingency-count Jaccard matching for
   community tracking.
 """
@@ -27,6 +30,12 @@ from repro.kernels.clustering import (
     local_clustering_csr,
 )
 from repro.kernels.csr import CSRGraph, gather_neighbors
+from repro.kernels.delta import (
+    DeltaCSRGraph,
+    DeltaEngineState,
+    DeltaMetricEngine,
+    louvain_warm_csr,
+)
 from repro.kernels.louvain import louvain_csr
 from repro.kernels.matching import match_communities_csr
 from repro.kernels.traversal import (
@@ -40,6 +49,9 @@ from repro.kernels.traversal import (
 __all__ = [
     "BACKENDS",
     "CSRGraph",
+    "DeltaCSRGraph",
+    "DeltaEngineState",
+    "DeltaMetricEngine",
     "average_clustering_csr",
     "average_path_length_csr",
     "bfs_distance_sum",
@@ -51,6 +63,7 @@ __all__ = [
     "largest_component_csr",
     "local_clustering_csr",
     "louvain_csr",
+    "louvain_warm_csr",
     "match_communities_csr",
     "resolve_backend",
 ]

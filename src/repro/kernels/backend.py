@@ -1,17 +1,27 @@
 """Backend selection for the CSR kernel layer.
 
-Every kernel-enabled function takes ``backend="auto" | "python" | "csr"``:
+Every kernel-enabled function takes ``backend="auto" | "python" | "csr"``
+(and the incremental call sites additionally accept ``"delta"``):
 
 * ``"python"`` — the original dict/set reference implementation;
 * ``"csr"`` — the numpy kernel operating on a :class:`~repro.kernels.csr.CSRGraph`;
+* ``"delta"`` — the incremental engine (:mod:`repro.kernels.delta`):
+  an append-friendly CSR plus event-delta accumulators and warm-start
+  Louvain.  Only replay-shaped call sites (the runtime, community
+  tracking, Louvain chains) can honor it; one-shot functions with no
+  event stream to be incremental over fall back to ``"csr"``, which is
+  bit-identical for every metric the parity harness pins.
 * ``"auto"`` — defer to the ``REPRO_BACKEND`` environment variable if set,
   otherwise pick the CSR kernel (numpy is a hard dependency, and both
   backends produce bit-identical floats, so "auto" is a pure performance
-  choice).
+  choice).  ``"auto"`` never silently upgrades to ``"delta"``: the
+  incremental Louvain has a documented tolerance (not bit-parity), so
+  delta stays an explicit opt-in — per call, or globally via
+  ``REPRO_BACKEND=delta``.
 
-Explicit ``"python"``/``"csr"`` arguments always win over the environment:
-the env var is an override for *defaults*, not for code that asked for a
-specific backend (e.g. a parity test pinning both sides).
+Explicit ``"python"``/``"csr"``/``"delta"`` arguments always win over the
+environment: the env var is an override for *defaults*, not for code that
+asked for a specific backend (e.g. a parity test pinning both sides).
 """
 
 from __future__ import annotations
@@ -20,13 +30,20 @@ import os
 
 __all__ = ["BACKENDS", "resolve_backend"]
 
-BACKENDS = ("auto", "python", "csr")
+BACKENDS = ("auto", "python", "csr", "delta")
 
 _ENV_VAR = "REPRO_BACKEND"
 
 
-def resolve_backend(backend: str = "auto") -> str:
-    """Resolve a backend request to ``"python"`` or ``"csr"``.
+def resolve_backend(backend: str = "auto", *, allow_delta: bool = False) -> str:
+    """Resolve a backend request to ``"python"``, ``"csr"`` or ``"delta"``.
+
+    ``allow_delta`` declares whether the *call site* can run the
+    incremental engine.  Most dispatchers cannot (they see one snapshot,
+    not a stream), so the default maps a ``"delta"`` request — explicit or
+    via ``$REPRO_BACKEND`` — to ``"csr"``, its bit-identical batch twin.
+    Replay-shaped call sites pass ``allow_delta=True`` and receive
+    ``"delta"`` unchanged.
 
     Raises :class:`ValueError` for an unknown request or an unknown
     ``$REPRO_BACKEND`` value (a typo silently falling back would be a
@@ -34,14 +51,18 @@ def resolve_backend(backend: str = "auto") -> str:
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    if backend != "auto":
-        return backend
-    env = os.environ.get(_ENV_VAR, "").strip().lower()
-    if env:
-        if env not in BACKENDS:
-            raise ValueError(
-                f"${_ENV_VAR}={env!r} is not a valid backend; expected one of {BACKENDS}"
-            )
-        if env != "auto":
-            return env
-    return "csr"
+    resolved = backend
+    if backend == "auto":
+        env = os.environ.get(_ENV_VAR, "").strip().lower()
+        if env:
+            if env not in BACKENDS:
+                raise ValueError(
+                    f"${_ENV_VAR}={env!r} is not a valid backend; expected one of {BACKENDS}"
+                )
+            if env != "auto":
+                resolved = env
+    if resolved == "auto":
+        resolved = "csr"
+    if resolved == "delta" and not allow_delta:
+        return "csr"
+    return resolved

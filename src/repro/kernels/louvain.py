@@ -145,8 +145,15 @@ def _one_level_arrays(
     node_label: IntArray,
     delta: float,
     rng: np.random.Generator,
+    active: IntArray | None = None,
 ) -> tuple[bool, IntArray, int, int]:
-    """Local-move phase; returns (made progress, new labels, passes, moves)."""
+    """Local-move phase; returns (made progress, new labels, passes, moves).
+
+    ``active`` (warm-start mode, :func:`repro.kernels.delta.louvain_warm_csr`)
+    restricts the move scan to the given positions; every other node keeps
+    its label.  ``None`` — the batch default — scans all ``n`` positions
+    and consumes exactly the RNG draws the reference backend consumes.
+    """
     n = node_label.size
     degrees = np.diff(indptr)
     rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
@@ -157,7 +164,10 @@ def _one_level_arrays(
         return False, node_label.copy(), 0, 0
     uniq, comm = np.unique(node_label, return_inverse=True)
     comm_tot = np.bincount(comm, weights=k, minlength=uniq.size)
-    order = rng.permutation(n).tolist()
+    if active is None:
+        order = rng.permutation(n).tolist()
+    else:
+        order = [int(p) for p in rng.permutation(active)]
     # The sequential-move scan is pure Python over flat lists: per-node
     # neighborhoods are short, so list slices beat both per-node numpy
     # calls (call overhead) and the reference's dict-of-dict iteration.

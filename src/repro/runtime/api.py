@@ -79,7 +79,7 @@ def _profile(
     from repro.kernels.backend import resolve_backend
 
     profile: dict[str, Any] = base if base is not None else {
-        "backend": resolve_backend(spec.backend),
+        "backend": resolve_backend(spec.backend, allow_delta=True),
         "workers": workers,
         "metric_seconds": {name: [] for name in spec.names},
     }

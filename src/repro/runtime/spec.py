@@ -29,8 +29,9 @@ from repro.metrics.paths import average_path_length_sampled
 
 if TYPE_CHECKING:
     from repro.kernels.csr import CSRGraph
+    from repro.kernels.delta import DeltaMetricEngine
 
-__all__ = ["MetricSpec", "STANDARD_METRIC_NAMES", "snapshot_times"]
+__all__ = ["DELTA_METRIC_NAMES", "MetricSpec", "STANDARD_METRIC_NAMES", "snapshot_times"]
 
 # Metric callables take the snapshot plus an optional prebuilt CSRGraph of
 # the same snapshot; the runtime builds one per snapshot and shares it
@@ -42,6 +43,13 @@ STANDARD_METRIC_NAMES = (
     "average_path_length",
     "average_clustering",
     "assortativity",
+)
+
+# Metrics the incremental engine maintains as event-delta accumulators.
+# Anything else (sampled BFS path length) is evaluated on the engine's
+# frozen CSR through the ordinary csr kernel, which is bit-identical.
+DELTA_METRIC_NAMES = frozenset(
+    {"average_degree", "average_clustering", "assortativity"}
 )
 
 _FACTORIES: dict[str, Callable[["MetricSpec", np.random.Generator], MetricFn]] = {
@@ -100,6 +108,31 @@ class MetricSpec:
         rng = np.random.default_rng((self.seed, snapshot_index))
         return {name: _FACTORIES[name](self, rng) for name in self.names}
 
+    def build_delta(
+        self, snapshot_index: int, engine: "DeltaMetricEngine"
+    ) -> dict[str, MetricFn]:
+        """Like :meth:`build`, but delta-maintained metrics read ``engine``.
+
+        The engine must have consumed exactly the events of the snapshot
+        being evaluated.  RNG discipline is identical to :meth:`build` —
+        one generator seeded by ``(seed, snapshot_index)``, consumed in
+        ``names`` order — and every engine metric replicates its batch
+        kernel's draws and float expressions, so a delta run's series is
+        bit-identical to a csr run's.
+        """
+        rng = np.random.default_rng((self.seed, snapshot_index))
+        fns: dict[str, MetricFn] = {}
+        for name in self.names:
+            if name == "average_degree":
+                fns[name] = _delta_average_degree(engine)
+            elif name == "average_clustering":
+                fns[name] = _delta_average_clustering(engine, self.clustering_sample, rng)
+            elif name == "assortativity":
+                fns[name] = _delta_assortativity(engine)
+            else:
+                fns[name] = _FACTORIES[name](self, rng)
+        return fns
+
     def fingerprint(self) -> str:
         """A stable hex digest of the spec, for cache keys.
 
@@ -111,6 +144,29 @@ class MetricSpec:
         del fields["backend"]
         payload = json.dumps(fields, sort_keys=True, default=list)
         return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _delta_average_degree(engine: "DeltaMetricEngine") -> MetricFn:
+    def fn(g: GraphSnapshot, csr: "CSRGraph | None" = None) -> float:
+        return engine.average_degree()
+
+    return fn
+
+
+def _delta_average_clustering(
+    engine: "DeltaMetricEngine", sample: int | None, rng: np.random.Generator
+) -> MetricFn:
+    def fn(g: GraphSnapshot, csr: "CSRGraph | None" = None) -> float:
+        return engine.average_clustering(sample, rng)
+
+    return fn
+
+
+def _delta_assortativity(engine: "DeltaMetricEngine") -> MetricFn:
+    def fn(g: GraphSnapshot, csr: "CSRGraph | None" = None) -> float:
+        return engine.assortativity()
+
+    return fn
 
 
 def snapshot_times(end_time: float, interval: float, start: float | None = None) -> list[float]:

@@ -6,7 +6,13 @@ from pathlib import Path
 from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
 from repro.devtools.engine import discover_modules, run_rules
 from repro.devtools.lint import all_rules, default_root, main, run_lint
-from repro.devtools.parity import PARITY_COVERED, PARITY_EXEMPT, PARITY_TEST_FILE
+from repro.devtools.parity import (
+    DELTA_PARITY_COVERED,
+    DELTA_PARITY_TEST_FILE,
+    PARITY_COVERED,
+    PARITY_EXEMPT,
+    PARITY_TEST_FILE,
+)
 from repro.devtools.rules_determinism import (
     GlobalRNGRule,
     ParityManifestRule,
@@ -191,6 +197,17 @@ class TestParityManifestRule:
             assert f"def {test_name}(" in parity_source, (
                 f"{qualname} claims coverage by {test_name}, which does not "
                 f"exist in {PARITY_TEST_FILE}"
+            )
+
+    def test_delta_covered_entries_reference_real_tests(self):
+        # The delta manifest rots the same way the python/csr one would:
+        # a renamed or deleted harness test must fail here, not silently
+        # leave the incremental backend unpinned.
+        delta_source = (REPO_ROOT / DELTA_PARITY_TEST_FILE).read_text(encoding="utf-8")
+        for qualname, test_name in DELTA_PARITY_COVERED.items():
+            assert f"def {test_name}(" in delta_source, (
+                f"{qualname} claims delta coverage by {test_name}, which does "
+                f"not exist in {DELTA_PARITY_TEST_FILE}"
             )
 
     def test_exemptions_carry_reasons(self):
