@@ -40,6 +40,7 @@ TRACKED: dict[str, tuple[str, str, str, float]] = {
     "store": ("BENCH_store.json", "speedup", "higher", 0.0),
     "obs": ("BENCH_obs.json", "overhead_fraction", "lower", 0.005),
     "delta": ("BENCH_delta.json", "aggregate.speedup", "higher", 0.0),
+    "scale": ("BENCH_scale.json", "speedup", "higher", 0.0),
 }
 
 

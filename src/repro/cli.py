@@ -42,7 +42,7 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-_PRESETS = ("tiny", "tiny_merge", "small", "medium", "merge_study", "paper_scale_small")
+_PRESETS = ("tiny", "tiny_merge", "small", "medium", "merge_study", "paper_scale_small", "huge")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--format", choices=("auto", "tsv", "store"), default="auto",
         help="output format; 'auto' writes a store when --out ends in .store",
+    )
+    gen.add_argument(
+        "--engine", choices=("legacy", "fast"), default="legacy",
+        help="generation engine: 'legacy' (per-event reference) or 'fast' "
+        "(vectorized streaming; required at the 'huge' preset)",
     )
 
     info = sub.add_parser("info", help="validate a trace and print summary statistics")
@@ -256,22 +261,29 @@ def _load_events(path: str):
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    from repro.gen.renren import generate_trace
+    from repro.gen.dispatch import generate, generate_store
     from repro.graph.stream_io import write_event_stream
 
     config = _resolve_config(args)
-    stream = generate_trace(config, seed=args.seed)
     fmt = args.format
     if fmt == "auto":
         fmt = "store" if str(args.out).endswith(".store") else "tsv"
     if fmt == "store":
-        from repro.store.convert import write_store
-
-        write_store(stream, args.out)
+        # Stream straight into the store — with the fast engine the trace
+        # is never materialized, so 'huge' fits in a bounded memory budget.
+        manifest = generate_store(config, args.out, seed=args.seed, engine=args.engine)
+        n_nodes = sum(c.count for c in manifest.node_chunks)
+        n_edges = sum(c.count for c in manifest.edge_chunks)
+        end = max(
+            (c.t_max for c in (*manifest.node_chunks, *manifest.edge_chunks)), default=0.0
+        )
+        print(f"wrote {n_nodes} nodes / {n_edges} edges "
+              f"over {end:.1f} days to {args.out} (store, {args.engine})")
     else:
+        stream = generate(config, seed=args.seed, engine=args.engine)
         write_event_stream(stream, args.out)
-    print(f"wrote {stream.num_nodes} nodes / {stream.num_edges} edges "
-          f"over {stream.end_time:.1f} days to {args.out} ({fmt})")
+        print(f"wrote {stream.num_nodes} nodes / {stream.num_edges} edges "
+              f"over {stream.end_time:.1f} days to {args.out} (tsv, {args.engine})")
     return 0
 
 

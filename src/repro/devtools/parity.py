@@ -16,6 +16,8 @@ from __future__ import annotations
 __all__ = [
     "DELTA_PARITY_COVERED",
     "DELTA_PARITY_TEST_FILE",
+    "ENGINE_EQUIVALENCE_COVERED",
+    "ENGINE_EQUIVALENCE_TEST_FILE",
     "PARITY_COVERED",
     "PARITY_EXEMPT",
     "PARITY_TEST_FILE",
@@ -51,6 +53,19 @@ DELTA_PARITY_COVERED: dict[str, str] = {
     "repro.kernels.delta.DeltaCSRGraph.to_csr": "test_delta_csr_matches_batch_build",
     "repro.kernels.delta.DeltaMetricEngine": "test_engine_metrics_bit_identical",
     "repro.runtime.parallel.evaluate_timeseries": "test_timeseries_delta_bit_identical",
+}
+
+# Generation-engine dispatchers (``engine="legacy"|"fast"``).  The two
+# engines draw random numbers in different orders, so the contract is
+# *distribution* equivalence (degree tail, clustering, burstiness) plus
+# per-engine byte determinism — not bit parity.  RPL005 flags any new
+# string-dispatch ``engine=`` function missing from this table, and
+# ``tests/test_devtools_lint.py`` checks each referenced test exists.
+ENGINE_EQUIVALENCE_TEST_FILE = "tests/test_gen_fast.py"
+
+ENGINE_EQUIVALENCE_COVERED: dict[str, str] = {
+    "repro.gen.dispatch.generate": "test_engines_distribution_equivalent",
+    "repro.gen.dispatch.generate_store": "test_store_digest_matches_stream_digest",
 }
 
 # Dispatcher qualname -> why it needs no parity test of its own.

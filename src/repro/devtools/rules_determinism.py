@@ -22,7 +22,11 @@ import ast
 from collections.abc import Iterator
 
 from repro.devtools.engine import FileRule, ModuleInfo
-from repro.devtools.parity import PARITY_COVERED, PARITY_EXEMPT
+from repro.devtools.parity import (
+    ENGINE_EQUIVALENCE_COVERED,
+    PARITY_COVERED,
+    PARITY_EXEMPT,
+)
 
 __all__ = [
     "GlobalRNGRule",
@@ -466,18 +470,39 @@ class WallClockRule(FileRule):
 
 
 class ParityManifestRule(FileRule):
-    """RPL005: every ``backend=`` dispatcher is in the parity manifest."""
+    """RPL005: every ``backend=`` / ``engine=`` dispatcher is in a manifest.
+
+    ``backend=`` dispatchers need a bit-parity test (PARITY_COVERED);
+    ``engine=`` string dispatchers (a parameter named ``engine`` with a
+    string-literal default, like ``engine="legacy"``) need a
+    distribution-equivalence test (ENGINE_EQUIVALENCE_COVERED).  Functions
+    that take an engine *object* (no string default) are not dispatchers.
+    """
 
     code = "RPL005"
     name = "parity-manifest"
     summary = (
-        "backend-dispatch function missing from the parity-test manifest "
-        "(repro.devtools.parity)"
+        "backend/engine-dispatch function missing from the parity-test "
+        "manifest (repro.devtools.parity)"
     )
     packages = None
 
     def check_module(self, module: ModuleInfo) -> Iterator[tuple[int, int, str]]:
         yield from self._visit(module, module.tree.body, module.module)
+
+    @staticmethod
+    def _string_default_of(args: ast.arguments, name: str) -> bool:
+        """Whether parameter ``name`` exists with a string-literal default."""
+        positional = args.posonlyargs + args.args
+        offset = len(positional) - len(args.defaults)
+        for i, arg in enumerate(positional):
+            if arg.arg == name:
+                default = args.defaults[i - offset] if i >= offset else None
+                return isinstance(default, ast.Constant) and isinstance(default.value, str)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.arg == name:
+                return isinstance(default, ast.Constant) and isinstance(default.value, str)
+        return False
 
     def _visit(
         self, module: ModuleInfo, body: list[ast.stmt], prefix: str
@@ -502,6 +527,19 @@ class ParityManifestRule(FileRule):
                         f"'{qualname}' dispatches on backend= but is not in "
                         "the parity manifest; add a parity test and register "
                         "it in repro.devtools.parity (or record an exemption)",
+                    )
+                if (
+                    self._string_default_of(args, "engine")
+                    and qualname not in ENGINE_EQUIVALENCE_COVERED
+                    and qualname not in PARITY_EXEMPT
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"'{qualname}' dispatches on engine= but is not in "
+                        "the engine-equivalence manifest; add an equivalence "
+                        "test and register it in repro.devtools.parity "
+                        "(or record an exemption)",
                     )
                 yield from self._visit(module, node.body, qualname)
 

@@ -23,15 +23,23 @@ from repro.gen.baselines import (
     uniform_attachment_stream,
 )
 from repro.gen.config import GeneratorConfig, MergeConfig, SeasonalDip, presets
+from repro.gen.dispatch import ENGINES, generate, generate_store
+from repro.gen.fast import FastGenerator, generate_store_fast, generate_trace_fast
 from repro.gen.renren import RenrenGenerator, generate_trace
 
 __all__ = [
+    "ENGINES",
     "GeneratorConfig",
     "MergeConfig",
     "SeasonalDip",
     "presets",
+    "FastGenerator",
     "RenrenGenerator",
+    "generate",
+    "generate_store",
     "generate_trace",
+    "generate_trace_fast",
+    "generate_store_fast",
     "barabasi_albert_stream",
     "forest_fire_stream",
     "uniform_attachment_stream",

@@ -30,6 +30,9 @@ from repro.graph.snapshot import GraphSnapshot
 __all__ = ["AttachmentState", "pa_weight"]
 
 _MAX_ATTEMPTS = 16
+# After the blind proposal rounds exhaust, the fallback scans at most this
+# many draws from each candidate pool before giving up for real.
+_FALLBACK_BLOCK = 64
 
 
 def pa_weight(num_edges: int, config: GeneratorConfig) -> float:
@@ -124,10 +127,20 @@ class AttachmentState:
         ``accept_bias(candidate)`` returns an acceptance probability in
         (0, 1] used for rejection sampling; ``local_probability`` overrides
         the config's home-community locality for this call.
+
+        Proposal rounds are capped: when the initiator's neighborhood is
+        near-saturated (e.g. it already knows almost every eligible peer,
+        so triadic and local draws keep re-proposing existing friends),
+        the blind rounds all reject.  Rather than looping forever or
+        silently dropping the slot, a deterministic weighted-pool fallback
+        scans a bounded block of draws from each candidate pool and takes
+        the first valid one — same seeded rng, so runs stay reproducible.
         """
         cfg = self.config
         rng = self._rng
         neighbors = graph.adjacency[initiator]
+        if len(neighbors) >= cfg.friend_cap:
+            return None
         w_local = cfg.local_probability if local_probability is None else local_probability
         w_pa = pa_weight(graph.num_edges, cfg)
         w_spot = spotlight_weight(graph.num_edges, cfg)
@@ -139,11 +152,57 @@ class AttachmentState:
                 continue
             if len(graph.adjacency[candidate]) >= cfg.friend_cap:
                 continue
-            if len(neighbors) >= cfg.friend_cap:
-                return None
             if accept_bias is not None and rng.random() >= accept_bias(candidate):
                 continue
             return candidate
+        return self._fallback_destination(initiator, neighbors, graph, accept_bias)
+
+    def _fallback_destination(
+        self,
+        initiator: int,
+        neighbors: set[int],
+        graph: GraphSnapshot,
+        accept_bias: Callable[[int], float] | None,
+    ) -> int | None:
+        """Bounded rescue pass after every blind proposal round rejected.
+
+        Pools are scanned degree-weighted first (``endpoint_draws`` holds
+        both endpoints of every edge, so uniform draws from it are
+        PA-weighted), then uniformly, preferring the initiator's own
+        community/cluster before the global pools.  Each pool contributes
+        at most ``_FALLBACK_BLOCK`` draws, so a pathological slot costs
+        O(1) instead of spinning.
+        """
+        cfg = self.config
+        rng = self._rng
+        if initiator in self.loners:
+            pools = [self._loner_cluster_of[initiator], self.node_draws]
+        else:
+            community = self.community_of.get(initiator)
+            pools = [
+                self._community_endpoints.get(community, []) if community is not None else [],
+                self._community_nodes.get(community, []) if community is not None else [],
+                self.endpoint_draws,
+                self.node_draws,
+            ]
+        for pool in pools:
+            if not pool:
+                continue
+            if len(pool) <= _FALLBACK_BLOCK:
+                # Small pool: exhaustive shuffled scan, so a lone valid
+                # candidate is found with certainty, not by luck.
+                picks = rng.permutation(len(pool))
+            else:
+                picks = rng.integers(len(pool), size=_FALLBACK_BLOCK)
+            for i in picks:
+                candidate = pool[int(i)]
+                if candidate == initiator or candidate in neighbors:
+                    continue
+                if len(graph.adjacency[candidate]) >= cfg.friend_cap:
+                    continue
+                if accept_bias is not None and rng.random() >= accept_bias(candidate):
+                    continue
+                return candidate
         return None
 
     def _propose(

@@ -276,6 +276,33 @@ class presets:
         return replace(cfg, pa_halflife_edges=12000)
 
     @staticmethod
+    def huge(days: float = 365.0, target_nodes: int = 1_050_000) -> GeneratorConfig:
+        """Million-node scale (~1M nodes, >10M edges) for the fast engine.
+
+        No merge — the point is raw single-network scale for the streaming
+        engine and the columnar store; the seasonal dips keep the arrival
+        process realistic.  Intended for ``repro generate --engine fast``;
+        the legacy generator needs hours here, the vectorized engine
+        minutes (see ``benchmarks/test_scale.py``).
+        """
+        dips = (
+            SeasonalDip(start_day=days * 0.12, length_days=days * 0.03),
+            SeasonalDip(start_day=days * 0.30, length_days=days * 0.08),
+            SeasonalDip(start_day=days * 0.62, length_days=days * 0.03),
+            SeasonalDip(start_day=days * 0.82, length_days=days * 0.08),
+        )
+        return GeneratorConfig(
+            days=days,
+            target_nodes=target_nodes,
+            growth_rate=0.018,
+            # ~76% of drawn budget converts to edges at this scale (caps,
+            # rejections); 13.5 keeps the realized count above 10M edges.
+            mean_budget=13.5,
+            seasonal_dips=dips,
+            pa_halflife_edges=600_000,
+        )
+
+    @staticmethod
     def merge_study(days: float = 160.0, target_nodes: int = 10000) -> GeneratorConfig:
         """Slower growth so each pre-merge population is ~15% of the trace.
 

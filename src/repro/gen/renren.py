@@ -31,11 +31,41 @@ from repro.graph.events import (
 from repro.graph.snapshot import GraphSnapshot
 from repro.util.rng import make_rng
 
-__all__ = ["RenrenGenerator", "generate_trace"]
+__all__ = ["RenrenGenerator", "generate_trace", "secondary_config"]
 
 # Community-id offset for the secondary network so the two universes'
 # Chinese-restaurant processes never collide.
 _SECONDARY_COMMUNITY_BASE = 1_000_000
+
+
+def secondary_config(config: GeneratorConfig) -> GeneratorConfig:
+    """The derived config the pre-merge secondary ("5Q") network grows under.
+
+    Shared by both engines so they agree on the secondary universe's
+    parameters exactly.
+    """
+    merge = config.merge
+    assert merge is not None
+    sec_days = merge.merge_day - merge.secondary_start_day
+    return GeneratorConfig(
+        days=sec_days,
+        target_nodes=merge.secondary_target_nodes,
+        growth_rate=config.growth_rate,
+        seed_nodes=min(config.seed_nodes, merge.secondary_target_nodes),
+        mean_budget=max(1.0, merge.secondary_mean_degree / 2.0),
+        budget_shape=config.budget_shape,
+        burst_mean=config.burst_mean,
+        gap_exponent=config.gap_exponent,
+        gap_min_days=config.gap_min_days,
+        triadic_probability=config.triadic_probability,
+        local_probability=config.local_probability,
+        pa_start=config.pa_start,
+        pa_end=config.pa_end,
+        pa_halflife_edges=max(1, config.pa_halflife_edges // 4),
+        community_new_prob=config.community_new_prob * 3,
+        community_size_exponent=config.community_size_exponent,
+        friend_cap=config.friend_cap,
+    )
 
 
 class _Universe:
@@ -250,27 +280,7 @@ class RenrenGenerator:
         return _Universe(sec_cfg, self.rng, community_base=_SECONDARY_COMMUNITY_BASE)
 
     def _secondary_config(self) -> GeneratorConfig:
-        merge = self.config.merge
-        sec_days = merge.merge_day - merge.secondary_start_day
-        return GeneratorConfig(
-            days=sec_days,
-            target_nodes=merge.secondary_target_nodes,
-            growth_rate=self.config.growth_rate,
-            seed_nodes=min(self.config.seed_nodes, merge.secondary_target_nodes),
-            mean_budget=max(1.0, merge.secondary_mean_degree / 2.0),
-            budget_shape=self.config.budget_shape,
-            burst_mean=self.config.burst_mean,
-            gap_exponent=self.config.gap_exponent,
-            gap_min_days=self.config.gap_min_days,
-            triadic_probability=self.config.triadic_probability,
-            local_probability=self.config.local_probability,
-            pa_start=self.config.pa_start,
-            pa_end=self.config.pa_end,
-            pa_halflife_edges=max(1, self.config.pa_halflife_edges // 4),
-            community_new_prob=self.config.community_new_prob * 3,
-            community_size_exponent=self.config.community_size_exponent,
-            friend_cap=self.config.friend_cap,
-        )
+        return secondary_config(self.config)
 
     def _secondary_arrival_counts(self) -> np.ndarray | None:
         if self.config.merge is None:

@@ -13,11 +13,30 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.graph.events import EventStream
+import numpy as np
+
+from repro.graph.events import EventStream, NodeArrival
 from repro.graph.stream_io import _HEADER, iter_events
 from repro.store.format import DEFAULT_CHUNK_EVENTS, Manifest
 from repro.store.reader import EventStore
 from repro.store.writer import StoreWriter
+
+
+class _OriginInterner:
+    """Caches writer origin codes so labels intern once, not once per event."""
+
+    def __init__(self, writer: StoreWriter) -> None:
+        self._writer = writer
+        self._codes: dict[str, int] = {}
+
+    def codes_for(self, labels: list[str]) -> np.ndarray:
+        fresh = list(dict.fromkeys(lb for lb in labels if lb not in self._codes))
+        if fresh:
+            for label, code in zip(fresh, self._writer.intern_origins(fresh), strict=True):
+                self._codes[label] = int(code)
+        return np.fromiter(
+            (self._codes[lb] for lb in labels), dtype="<u2", count=len(labels)
+        )
 
 __all__ = [
     "convert_tsv_to_store",
@@ -36,19 +55,22 @@ def write_store(
 ) -> Manifest:
     """Encode an in-memory :class:`EventStream` as a store at ``path``."""
     with StoreWriter(path, chunk_events=chunk_events) as writer:
+        interner = _OriginInterner(writer)
         for start in range(0, len(stream.nodes), chunk_events):
             batch = stream.nodes[start : start + chunk_events]
-            writer.append_nodes(
-                [ev.time for ev in batch],
-                [ev.node for ev in batch],
-                [ev.origin for ev in batch],
+            count = len(batch)
+            writer.append_arrays(
+                node_times=np.fromiter((ev.time for ev in batch), dtype="<f8", count=count),
+                node_ids=np.fromiter((ev.node for ev in batch), dtype="<i8", count=count),
+                node_origins=interner.codes_for([ev.origin for ev in batch]),
             )
         for start in range(0, len(stream.edges), chunk_events):
             batch = stream.edges[start : start + chunk_events]
-            writer.append_edges(
-                [ev.time for ev in batch],
-                [ev.u for ev in batch],
-                [ev.v for ev in batch],
+            count = len(batch)
+            writer.append_arrays(
+                edge_times=np.fromiter((ev.time for ev in batch), dtype="<f8", count=count),
+                edge_us=np.fromiter((ev.u for ev in batch), dtype="<i8", count=count),
+                edge_vs=np.fromiter((ev.v for ev in batch), dtype="<i8", count=count),
             )
         return writer.close()
 
@@ -67,14 +89,42 @@ def convert_tsv_to_store(
     monotonicity check rather than producing an unscannable store.
     """
     with StoreWriter(store_path, chunk_events=chunk_events) as writer:
-        batch: list = []
+        interner = _OriginInterner(writer)
+        node_cols: tuple[list[float], list[int], list[str]] = ([], [], [])
+        edge_cols: tuple[list[float], list[int], list[int]] = ([], [], [])
+
+        def flush() -> None:
+            times, ids, labels = node_cols
+            if times:
+                writer.append_arrays(
+                    node_times=np.array(times, dtype="<f8"),
+                    node_ids=np.array(ids, dtype="<i8"),
+                    node_origins=interner.codes_for(labels),
+                )
+                for col in node_cols:
+                    col.clear()
+            etimes, us, vs = edge_cols
+            if etimes:
+                writer.append_arrays(
+                    edge_times=np.array(etimes, dtype="<f8"),
+                    edge_us=np.array(us, dtype="<i8"),
+                    edge_vs=np.array(vs, dtype="<i8"),
+                )
+                for col in edge_cols:
+                    col.clear()
+
         for ev in iter_events(tsv_path):
-            batch.append(ev)
-            if len(batch) >= batch_events:
-                writer.append_events(batch)
-                batch.clear()
-        if batch:
-            writer.append_events(batch)
+            if isinstance(ev, NodeArrival):
+                node_cols[0].append(ev.time)
+                node_cols[1].append(ev.node)
+                node_cols[2].append(ev.origin)
+            else:
+                edge_cols[0].append(ev.time)
+                edge_cols[1].append(ev.u)
+                edge_cols[2].append(ev.v)
+            if len(node_cols[0]) + len(edge_cols[0]) >= batch_events:
+                flush()
+        flush()
         return writer.close()
 
 

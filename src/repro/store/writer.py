@@ -156,6 +156,63 @@ class StoreWriter:
 
     # -- batch appends -------------------------------------------------
 
+    def intern_origins(self, labels: Sequence[str]) -> np.ndarray:
+        """Intern origin labels and return their stable ``uint16`` codes.
+
+        Lets array producers translate their own origin encoding into this
+        writer's string table once per label instead of once per event;
+        the codes feed :meth:`append_arrays`.
+        """
+        self._ensure_open()
+        return np.fromiter(
+            (self._origin_code(label) for label in labels), dtype="<u2", count=len(labels)
+        )
+
+    def append_arrays(
+        self,
+        *,
+        node_times: np.ndarray | None = None,
+        node_ids: np.ndarray | None = None,
+        node_origins: np.ndarray | None = None,
+        edge_times: np.ndarray | None = None,
+        edge_us: np.ndarray | None = None,
+        edge_vs: np.ndarray | None = None,
+    ) -> None:
+        """Append numpy columns directly — no per-event Python loop.
+
+        ``node_origins`` holds ``uint16`` codes from :meth:`intern_origins`
+        (not labels); every other column is coerced to its store dtype.
+        Either event kind may be omitted; the usual per-kind time-order
+        checks apply.
+        """
+        self._ensure_open()
+        if node_times is not None:
+            if node_ids is None or node_origins is None:
+                raise ValueError("node batches need node_times, node_ids and node_origins")
+            codes = np.asarray(node_origins, dtype="<u2")
+            if len(codes) and int(codes.max()) >= len(self._origin_codes):
+                raise StoreError(
+                    f"origin code {int(codes.max())} is not interned "
+                    f"({len(self._origin_codes)} labels known); call intern_origins first"
+                )
+            self._nodes.append(
+                (
+                    np.asarray(node_times, dtype="<f8"),
+                    np.asarray(node_ids, dtype="<i8"),
+                    codes,
+                )
+            )
+        if edge_times is not None:
+            if edge_us is None or edge_vs is None:
+                raise ValueError("edge batches need edge_times, edge_us and edge_vs")
+            self._edges.append(
+                (
+                    np.asarray(edge_times, dtype="<f8"),
+                    np.asarray(edge_us, dtype="<i8"),
+                    np.asarray(edge_vs, dtype="<i8"),
+                )
+            )
+
     def append_nodes(
         self,
         times: Sequence[float] | np.ndarray,

@@ -9,6 +9,8 @@ from repro.devtools.lint import all_rules, default_root, main, run_lint
 from repro.devtools.parity import (
     DELTA_PARITY_COVERED,
     DELTA_PARITY_TEST_FILE,
+    ENGINE_EQUIVALENCE_COVERED,
+    ENGINE_EQUIVALENCE_TEST_FILE,
     PARITY_COVERED,
     PARITY_EXEMPT,
     PARITY_TEST_FILE,
@@ -213,6 +215,26 @@ class TestParityManifestRule:
     def test_exemptions_carry_reasons(self):
         for qualname, reason in PARITY_EXEMPT.items():
             assert reason.strip(), f"exemption for {qualname} lacks a reason"
+
+    def test_unregistered_engine_dispatcher_flagged(self, tmp_path):
+        src = 'def build(config, *, engine="legacy"):\n    return 0\n'
+        result = lint_tree(tmp_path, {"gen/new.py": src}, [ParityManifestRule()])
+        assert codes(result) == ["RPL005"]
+
+    def test_engine_object_parameter_not_flagged(self, tmp_path):
+        # An `engine` parameter *without* a string default passes an engine
+        # object (e.g. DeltaMetricEngine), which is not string dispatch.
+        src = "def degree(engine):\n    return engine.average_degree()\n"
+        result = lint_tree(tmp_path, {"runtime/new.py": src}, [ParityManifestRule()])
+        assert codes(result) == []
+
+    def test_engine_covered_entries_reference_real_tests(self):
+        engine_source = (REPO_ROOT / ENGINE_EQUIVALENCE_TEST_FILE).read_text(encoding="utf-8")
+        for qualname, test_name in ENGINE_EQUIVALENCE_COVERED.items():
+            assert f"def {test_name}(" in engine_source, (
+                f"{qualname} claims equivalence coverage by {test_name}, "
+                f"which does not exist in {ENGINE_EQUIVALENCE_TEST_FILE}"
+            )
 
 
 class TestSuppressions:

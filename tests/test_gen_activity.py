@@ -52,6 +52,15 @@ class TestPowerLawGaps:
         with pytest.raises(ValueError):
             power_law_gaps(10, 1.0, 0.25, make_rng(0))
 
+    def test_zero_count_returns_empty(self):
+        gaps = power_law_gaps(0, 2.2, 0.25, make_rng(0))
+        assert gaps.shape == (0,)
+        assert gaps.dtype == np.float64
+
+    def test_min_gap_above_cap_clamps_to_cap(self):
+        gaps = power_law_gaps(100, 2.5, 10.0, make_rng(1), max_gap=5.0)
+        assert (gaps == 5.0).all()
+
 
 class TestScheduleActivity:
     def test_sorted_and_sized(self):
@@ -75,6 +84,18 @@ class TestScheduleActivity:
         times = schedule_activity(0.0, 1, cfg, make_rng(3))
         assert len(times) == 1
         assert 0.0 <= times[0] < 1.0
+
+    def test_budget_zero_yields_no_events(self):
+        cfg = GeneratorConfig()
+        assert schedule_activity(3.0, 0, cfg, make_rng(5)) == []
+
+    def test_arrival_at_trace_end_keeps_events_past_horizon(self):
+        # A node arriving on the last day still schedules its whole budget;
+        # the simulator drops the out-of-range tail, not the scheduler.
+        cfg = GeneratorConfig(days=30.0)
+        times = schedule_activity(29.5, 10, cfg, make_rng(6), horizon=30.0)
+        assert len(times) == 10
+        assert min(times) >= 29.5
 
     def test_long_term_fraction_spreads_events(self):
         cfg = GeneratorConfig(long_term_fraction=1.0, burst_mean=0.0, days=200.0)

@@ -46,6 +46,44 @@ class TestDailyRates:
         assert daily_rates(cfg).size == 34
 
 
+class TestDailyRatesEdgeCases:
+    def test_zero_day_config_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="days must be positive"):
+            GeneratorConfig(days=0, target_nodes=100)
+
+    def test_sub_day_run_yields_single_day(self):
+        cfg = GeneratorConfig(days=0.4, target_nodes=100)
+        rates = daily_rates(cfg)
+        assert rates.size == 1
+        assert rates.sum() == pytest.approx(cfg.target_nodes - cfg.seed_nodes)
+
+    def test_dip_spanning_run_end_still_normalizes(self):
+        # A dip that starts inside the run but extends past its end must
+        # only suppress the in-run days; the total still hits the target.
+        dip = SeasonalDip(start_day=90, length_days=50, factor=0.2)
+        cfg = GeneratorConfig(days=100, target_nodes=5000, seasonal_dips=(dip,))
+        rates = daily_rates(cfg)
+        assert rates.size == 100
+        assert rates.sum() == pytest.approx(cfg.target_nodes - cfg.seed_nodes)
+        # Day 95 sits inside the dip, day 85 outside it; the envelope grows,
+        # so without the dip day 95 would be the larger of the two.
+        assert rates[95] < rates[85]
+
+    def test_dip_covering_whole_run_with_zero_factor_degenerate(self):
+        dip = SeasonalDip(start_day=0, length_days=10, factor=0.0)
+        cfg = GeneratorConfig(days=5, target_nodes=100, seasonal_dips=(dip,))
+        with pytest.raises(ValueError, match="degenerate arrival envelope"):
+            daily_rates(cfg)
+
+    def test_target_equal_to_seed_gives_zero_rates(self):
+        cfg = GeneratorConfig(days=20, target_nodes=50, seed_nodes=50)
+        rates = daily_rates(cfg)
+        assert rates.sum() == pytest.approx(0.0)
+        assert np.array_equal(
+            arrival_counts(cfg, make_rng(0)), np.zeros(20, dtype=np.int64)
+        )
+
+
 class TestArrivalCounts:
     def test_deterministic_for_seed(self):
         cfg = GeneratorConfig(days=50, target_nodes=2000)

@@ -118,6 +118,52 @@ class TestChooseDestination:
             dest = state.choose_destination(0, graph)
             assert dest in (None, 2)
 
+    def test_rejection_pathology_rescued_by_fallback(self):
+        # Regression: with triadic closure forced on, an initiator whose
+        # only neighbor leads straight back to itself used to burn every
+        # blind proposal round (pivot=1, second hop={0} -> candidate ==
+        # initiator) and drop the slot, even though a valid destination
+        # existed.  The weighted-pool fallback must rescue it.
+        cfg = GeneratorConfig(triadic_probability=1.0)
+        _, state, graph = build_state(cfg, seed=9)
+        for n, comm in [(0, 0), (1, 0), (2, 1)]:
+            graph.add_node(n)
+            state.add_node(n, comm)
+        graph.add_edge(0, 1)
+        state.record_edge(0, 1)
+        # Node 2 is the only valid destination; the fallback's exhaustive
+        # shuffled scan of the small node pool must find it every time.
+        for _ in range(25):
+            assert state.choose_destination(0, graph) == 2
+
+    def test_fallback_is_deterministic(self):
+        def run(seed):
+            cfg = GeneratorConfig(triadic_probability=1.0)
+            _, state, graph = build_state(cfg, seed=seed)
+            for n in range(8):
+                graph.add_node(n)
+                state.add_node(n, community=n % 2)
+            graph.add_edge(0, 1)
+            state.record_edge(0, 1)
+            return [state.choose_destination(0, graph) for _ in range(40)]
+
+        assert run(7) == run(7)
+
+    def test_fallback_rescues_loner_with_exhausted_cluster(self):
+        cfg = GeneratorConfig(loner_peer_probability=1.0)
+        _, state, graph = build_state(cfg, seed=2)
+        # Two loners sharing one invite cluster, already connected.
+        for n in (0, 1):
+            graph.add_node(n)
+            state.add_node(n, community=None)
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        state.add_node(2, community=0)
+        # Peer sampling always proposes 0 or 1 (self or existing friend),
+        # so every blind round rejects.  The fallback reaches the global
+        # node pool and finds node 2.
+        assert state.choose_destination(0, graph) == 2
+
     def test_local_probability_override(self):
         cfg = GeneratorConfig(triadic_probability=0.0, local_probability=1.0)
         _, state, graph = build_state(cfg, seed=5)

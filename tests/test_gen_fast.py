@@ -1,0 +1,152 @@
+"""Tests for the vectorized streaming engine (`repro.gen.fast`).
+
+Two contracts are pinned here:
+
+* **Per-engine determinism** — same config + seed gives a byte-identical
+  content digest, in memory and through the store writer.
+* **Distribution equivalence** — the fast engine draws random numbers in
+  a different order than legacy, so traces differ event for event; the
+  statistics the paper measures (degree tail, clustering, arrival
+  burstiness, post-merge edge-class ratios) must agree within the stated
+  tolerances.  These tests back the ``ENGINE_EQUIVALENCE_COVERED``
+  manifest that lint rule RPL005 enforces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gen import presets
+from repro.gen.dispatch import generate, generate_store
+from repro.gen.fast import FastGenerator, generate_trace_fast
+from repro.graph.events import ORIGIN_5Q, ORIGIN_NEW, ORIGIN_XIAONEI
+from repro.graph.snapshot import GraphSnapshot
+from repro.metrics.clustering import average_clustering
+from repro.metrics.degree import average_degree, fit_degree_tail
+from repro.osnmerge.edge_rates import edges_per_day_by_type
+from repro.store.reader import EventStore
+
+
+@pytest.fixture(scope="module")
+def small_pair():
+    cfg = presets.small()
+    legacy = generate(cfg, seed=11, engine="legacy")
+    fast = generate(cfg, seed=11, engine="fast")
+    return cfg, legacy, fast
+
+
+def _relative_gap(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b))
+
+
+def test_fast_stream_valid_and_deterministic():
+    cfg = presets.tiny_merge()
+    first = generate_trace_fast(cfg, seed=5)
+    second = generate_trace_fast(cfg, seed=5)
+    assert first.content_digest() == second.content_digest()
+    origins = {ev.origin for ev in first.nodes}
+    assert origins == {ORIGIN_XIAONEI, ORIGIN_5Q, ORIGIN_NEW}
+    # A different seed must actually change the trace.
+    assert generate_trace_fast(cfg, seed=6).content_digest() != first.content_digest()
+
+
+def test_store_digest_matches_stream_digest(tmp_path):
+    cfg = presets.tiny_merge()
+    manifest = generate_store(cfg, tmp_path / "fast.store", seed=5, engine="fast")
+    stream = generate_trace_fast(cfg, seed=5)
+    assert manifest.content_digest == stream.content_digest()
+    store = EventStore(tmp_path / "fast.store")
+    store.verify()
+    decoded = store.to_stream()
+    decoded.validate()
+    assert decoded.num_nodes == stream.num_nodes
+    assert decoded.num_edges == stream.num_edges
+
+
+def test_generate_to_store_streams_without_stream_build(tmp_path):
+    manifest = FastGenerator(presets.tiny(), seed=3).generate_to_store(
+        tmp_path / "tiny.store", chunk_events=512
+    )
+    # Chunked output: ~5k edges at 512 events per chunk means many chunks.
+    assert len(manifest.edge_chunks) >= 8
+    assert sum(c.count for c in manifest.node_chunks) > 0
+
+
+def test_engines_distribution_equivalent(small_pair):
+    _, legacy, fast = small_pair
+    gl = GraphSnapshot.from_edges((ev.u, ev.v) for ev in legacy.edges)
+    gf = GraphSnapshot.from_edges((ev.u, ev.v) for ev in fast.edges)
+
+    # Population and density.
+    assert _relative_gap(legacy.num_nodes, fast.num_nodes) < 0.05
+    assert _relative_gap(average_degree(gl), average_degree(gf)) < 0.15
+
+    # Degree-tail exponent (paper Fig 1c regime).
+    exp_l = fit_degree_tail(gl).exponent
+    exp_f = fit_degree_tail(gf).exponent
+    assert abs(exp_l - exp_f) < 0.35
+
+    # Clustering (paper Fig 1e regime) — triadic closure must survive
+    # vectorization, not collapse toward a random graph's ~1e-3.
+    cl = average_clustering(gl, sample_size=2000, rng=3)
+    cf = average_clustering(gf, sample_size=2000, rng=3)
+    assert _relative_gap(cl, cf) < 0.30
+    assert cf > 0.05
+
+    # Arrival burstiness: coefficient of variation of node inter-arrivals
+    # (the seasonal envelope and Poisson thinning are shared code, but the
+    # fast engine must not smooth the gaps).
+    def burst_cv(stream):
+        gaps = np.diff(np.array([ev.time for ev in stream.nodes]))
+        gaps = gaps[gaps > 0]
+        return float(gaps.std() / gaps.mean())
+
+    assert _relative_gap(burst_cv(legacy), burst_cv(fast)) < 0.25
+
+
+def test_post_merge_edge_ratios_equivalent(small_pair):
+    cfg, legacy, fast = small_pair
+    merge_day = cfg.merge.merge_day
+    window = slice(1, 31)
+
+    def ratios(stream):
+        rates = edges_per_day_by_type(stream, merge_day)
+        internal = float(rates.internal_total[window].sum())
+        external = float(rates.external[window].sum())
+        new = float(rates.new_total[window].sum())
+        return internal / max(1.0, external), new / max(1.0, internal)
+
+    (i2e_l, n2i_l), (i2e_f, n2i_f) = ratios(legacy), ratios(fast)
+    # Both engines must agree that internal edges dominate external ones
+    # post-merge (Fig 8c) and by a comparable factor.
+    assert i2e_l > 1.0 and i2e_f > 1.0
+    assert _relative_gap(i2e_l, i2e_f) < 0.40
+    assert _relative_gap(n2i_l, n2i_f) < 0.40
+
+
+def test_cli_generate_fast_round_trip(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "cli.store"
+    assert main([
+        "generate", "--preset", "tiny", "--seed", "3",
+        "--engine", "fast", "--out", str(out),
+    ]) == 0
+    assert "fast" in capsys.readouterr().out
+    store = EventStore(out)
+    store.verify()
+    first_digest = store.manifest.content_digest
+    out2 = tmp_path / "cli2.store"
+    assert main([
+        "generate", "--preset", "tiny", "--seed", "3",
+        "--engine", "fast", "--out", str(out2),
+    ]) == 0
+    assert EventStore(out2).manifest.content_digest == first_digest
+
+
+def test_huge_preset_shape():
+    cfg = presets.huge()
+    assert cfg.target_nodes >= 1_000_000
+    assert cfg.merge is None
+    assert cfg.seasonal_dips
+    # Budget arithmetic must leave room for >= 10M edges.
+    assert cfg.target_nodes * cfg.mean_budget >= 10_000_000
