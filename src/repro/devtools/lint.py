@@ -15,15 +15,18 @@ from pathlib import Path
 from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
 from repro.devtools.diagnostics import format_human, format_json_payload
 from repro.devtools.engine import LintResult, Rule, discover_modules, run_rules
+from repro.devtools.rules_arrays import array_rules
 from repro.devtools.rules_determinism import determinism_rules
 from repro.devtools.rules_layering import LayeringRule, render_dot
+from repro.devtools.rules_parallel import parallel_rules
 
 __all__ = ["all_rules", "configure_parser", "main", "run_from_args", "run_lint"]
 
 
 def all_rules() -> list[Rule]:
-    """Every registered rule, determinism first, then layering."""
-    return [*determinism_rules(), LayeringRule()]
+    """Every registered rule: determinism, array safety, parallel safety,
+    then layering."""
+    return [*determinism_rules(), *array_rules(), *parallel_rules(), LayeringRule()]
 
 
 def default_root() -> Path:

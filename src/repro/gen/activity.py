@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gen.config import GeneratorConfig
+from repro.util.arrays import FloatArray
 
 __all__ = ["draw_budget", "power_law_gaps", "schedule_activity"]
 
@@ -39,7 +40,7 @@ def power_law_gaps(
     min_gap: float,
     rng: np.random.Generator,
     max_gap: float = 365.0,
-) -> np.ndarray:
+) -> FloatArray:
     """Draw ``count`` inter-arrival gaps with PDF ∝ gap^-``exponent``.
 
     Inverse-transform sampling of a Pareto with density exponent

@@ -14,11 +14,12 @@ import numpy as np
 
 from repro.gen.config import GeneratorConfig
 from repro.gen.seasonal import seasonal_factor
+from repro.util.arrays import FloatArray, IntArray
 
 __all__ = ["daily_rates", "arrival_counts"]
 
 
-def daily_rates(config: GeneratorConfig) -> np.ndarray:
+def daily_rates(config: GeneratorConfig) -> FloatArray:
     """Expected arrivals for each simulated day (before Poisson sampling).
 
     The exponential envelope is normalized so that, with the seasonal dips
@@ -35,6 +36,6 @@ def daily_rates(config: GeneratorConfig) -> np.ndarray:
     return shaped * (total / shaped.sum())
 
 
-def arrival_counts(config: GeneratorConfig, rng: np.random.Generator) -> np.ndarray:
+def arrival_counts(config: GeneratorConfig, rng: np.random.Generator) -> IntArray:
     """Sample the integer number of arrivals for each day (Poisson)."""
     return rng.poisson(daily_rates(config))

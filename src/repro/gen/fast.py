@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -48,7 +50,12 @@ from repro.graph.events import (
     NodeArrival,
 )
 from repro.obs import get_recorder
+from repro.util.arrays import BoolArray, FloatArray, IntArray, UInt16Array
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.store.format import Manifest
+    from repro.store.writer import StoreWriter
 
 __all__ = ["FastGenerator", "generate_trace_fast", "generate_store_fast"]
 
@@ -58,7 +65,7 @@ _ORIGIN_LABELS = (ORIGIN_XIAONEI, ORIGIN_5Q, ORIGIN_NEW)
 
 _MAX_ATTEMPTS = 16  # proposal rounds per initiation (mirrors AttachmentState)
 # Unresolved initiations carried between chunks: (times, nodes, w_local, attempts).
-_Carry = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+_Carry = tuple[FloatArray, IntArray, FloatArray, IntArray]
 # Initiations are committed in chunks: small chunks early (the PA weight
 # decays fast on the first few thousand edges), capped later when pool
 # staleness within a chunk is negligible relative to the network size.
@@ -74,24 +81,24 @@ class _WindowBuffer:
     """Per-window emission buffer; flushed time-sorted to the sink."""
 
     def __init__(self) -> None:
-        self._node_times: list[np.ndarray] = []
-        self._node_ids: list[np.ndarray] = []
-        self._node_codes: list[np.ndarray] = []
-        self._edge_times: list[np.ndarray] = []
-        self._edge_us: list[np.ndarray] = []
-        self._edge_vs: list[np.ndarray] = []
+        self._node_times: list[FloatArray] = []
+        self._node_ids: list[IntArray] = []
+        self._node_codes: list[UInt16Array] = []
+        self._edge_times: list[FloatArray] = []
+        self._edge_us: list[IntArray] = []
+        self._edge_vs: list[IntArray] = []
 
-    def nodes(self, times: np.ndarray, ids: np.ndarray, code: int) -> None:
+    def nodes(self, times: FloatArray, ids: IntArray, code: int) -> None:
         self._node_times.append(times)
         self._node_ids.append(ids)
         self._node_codes.append(np.full(len(ids), code, dtype=np.uint16))
 
-    def edges(self, times: np.ndarray, us: np.ndarray, vs: np.ndarray) -> None:
+    def edges(self, times: FloatArray, us: IntArray, vs: IntArray) -> None:
         self._edge_times.append(times)
         self._edge_us.append(us)
         self._edge_vs.append(vs)
 
-    def flush(self, sink) -> tuple[int, int]:
+    def flush(self, sink: _StreamSink | _StoreSink) -> tuple[int, int]:
         """Sort each event kind by time and hand the arrays to the sink."""
         emitted_nodes = emitted_edges = 0
         if self._node_times:
@@ -119,13 +126,13 @@ class _StreamSink:
     """Collects emitted arrays; builds a validated EventStream at the end."""
 
     def __init__(self) -> None:
-        self._nodes: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        self._edges: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._nodes: list[tuple[FloatArray, IntArray, UInt16Array]] = []
+        self._edges: list[tuple[FloatArray, IntArray, IntArray]] = []
 
-    def nodes(self, times: np.ndarray, ids: np.ndarray, codes: np.ndarray) -> None:
+    def nodes(self, times: FloatArray, ids: IntArray, codes: UInt16Array) -> None:
         self._nodes.append((times, ids, codes))
 
-    def edges(self, times: np.ndarray, us: np.ndarray, vs: np.ndarray) -> None:
+    def edges(self, times: FloatArray, us: IntArray, vs: IntArray) -> None:
         self._edges.append((times, us, vs))
 
     def build(self) -> EventStream:
@@ -152,23 +159,25 @@ class _StoreSink:
     ``write_store`` of the equivalent stream would build the origin table.
     """
 
-    def __init__(self, writer) -> None:
+    def __init__(self, writer: StoreWriter) -> None:
         self._writer = writer
         self._code_map = np.full(len(_ORIGIN_LABELS), -1, dtype=np.int64)
 
-    def nodes(self, times: np.ndarray, ids: np.ndarray, codes: np.ndarray) -> None:
+    def nodes(self, times: FloatArray, ids: IntArray, codes: UInt16Array) -> None:
         for code in np.unique(codes).tolist():
             if self._code_map[code] < 0:
                 self._code_map[code] = int(
                     self._writer.intern_origins([_ORIGIN_LABELS[code]])[0]
                 )
+        # int64 codes: append_arrays owns the bounds-checked uint16 cast,
+        # so a stale -1 in the code map raises instead of wrapping to 65535.
         self._writer.append_arrays(
             node_times=times,
             node_ids=ids,
-            node_origins=self._code_map[codes].astype("<u2"),
+            node_origins=self._code_map[codes],
         )
 
-    def edges(self, times: np.ndarray, us: np.ndarray, vs: np.ndarray) -> None:
+    def edges(self, times: FloatArray, us: IntArray, vs: IntArray) -> None:
         self._writer.append_arrays(edge_times=times, edge_us=us, edge_vs=vs)
 
 
@@ -199,13 +208,13 @@ class _FastUniverse:
         self.edge_keys = HashKeySet(capacity=4 * max(1024, expected_edges))
         self.num_edges = 0
         self.seeded = False
-        self.schedule: dict[int, list[tuple[np.ndarray, np.ndarray]]] = defaultdict(list)
+        self.schedule: dict[int, list[tuple[FloatArray, IntArray]]] = defaultdict(list)
         # Arrivals are *assigned* (community, budget, schedule) as soon as a
         # window opens, but enter the sampling pools lazily, in time order —
         # otherwise a whole window of future nodes would dilute PA targeting
         # that legacy applies day by day.
-        self._pend_reg: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        self._pend_lon: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._pend_reg: tuple[FloatArray, IntArray, IntArray] | None = None
+        self._pend_lon: tuple[FloatArray, IntArray, IntArray] | None = None
         # Non-emitting universes record their edges for the merge import.
         self.edges_u = None if emit else GrowingArray(np.int64)
         self.edges_v = None if emit else GrowingArray(np.int64)
@@ -220,23 +229,25 @@ class _FastUniverse:
 
     @staticmethod
     def _defer(
-        pend: tuple[np.ndarray, np.ndarray, np.ndarray] | None,
-        times: np.ndarray,
-        ids: np.ndarray,
-        groups: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        pend: tuple[FloatArray, IntArray, IntArray] | None,
+        times: FloatArray,
+        ids: IntArray,
+        groups: IntArray,
+    ) -> tuple[FloatArray, IntArray, IntArray]:
         order = np.argsort(times)
         fresh = (times[order], ids[order], groups[order])
         if pend is None:
             return fresh
-        merged = tuple(np.concatenate((a, b)) for a, b in zip(pend, fresh))
-        order = np.argsort(merged[0])
-        return (merged[0][order], merged[1][order], merged[2][order])
+        all_times = np.concatenate((pend[0], fresh[0]))
+        all_ids = np.concatenate((pend[1], fresh[1]))
+        all_groups = np.concatenate((pend[2], fresh[2]))
+        order = np.argsort(all_times)
+        return (all_times[order], all_ids[order], all_groups[order])
 
-    def defer_regular(self, times: np.ndarray, ids: np.ndarray, comms: np.ndarray) -> None:
+    def defer_regular(self, times: FloatArray, ids: IntArray, comms: IntArray) -> None:
         self._pend_reg = self._defer(self._pend_reg, times, ids, comms)
 
-    def defer_loner(self, times: np.ndarray, ids: np.ndarray, clusters: np.ndarray) -> None:
+    def defer_loner(self, times: FloatArray, ids: IntArray, clusters: IntArray) -> None:
         self._pend_lon = self._defer(self._pend_lon, times, ids, clusters)
 
     def flush_pools(self, up_to: float) -> None:
@@ -255,7 +266,7 @@ class _FastUniverse:
                 self.clusters.append(clusters[:k], ids[:k])
                 self._pend_lon = (times[k:], ids[k:], clusters[k:]) if k < len(times) else None
 
-    def push_schedule(self, times: np.ndarray, nodes: np.ndarray, n_days: int) -> None:
+    def push_schedule(self, times: FloatArray, nodes: IntArray, n_days: int) -> None:
         """Bucket future initiations by day, dropping times past the trace."""
         keep = times < n_days
         times, nodes = times[keep], nodes[keep]
@@ -271,9 +282,9 @@ class _FastUniverse:
             lo, hi = int(bounds[i]), int(bounds[i + 1])
             self.schedule[int(days[lo])].append((times[lo:hi], nodes[lo:hi]))
 
-    def pop_window(self, d0: int, d1: int) -> tuple[np.ndarray, np.ndarray]:
+    def pop_window(self, d0: int, d1: int) -> tuple[FloatArray, IntArray]:
         """Remove and return initiations scheduled in days [d0, d1), time-ordered."""
-        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        parts: list[tuple[FloatArray, IntArray]] = []
         for day in range(d0, d1):
             parts.extend(self.schedule.pop(day, ()))
         if not parts:
@@ -319,7 +330,9 @@ class FastGenerator:
         self._run(sink)
         return sink.build()
 
-    def generate_to_store(self, path, *, chunk_events: int | None = None):
+    def generate_to_store(
+        self, path: str | Path, *, chunk_events: int | None = None
+    ) -> Manifest:
         """Run the simulation streaming straight into a new store at ``path``.
 
         Returns the published :class:`~repro.store.format.Manifest`.  Peak
@@ -335,7 +348,7 @@ class FastGenerator:
 
     # -- simulation driver ----------------------------------------------
 
-    def _run(self, sink) -> None:
+    def _run(self, sink: _StreamSink | _StoreSink) -> None:
         cfg = self.config
         rec = get_recorder()
         n_days = int(math.ceil(cfg.days))
@@ -392,8 +405,8 @@ class FastGenerator:
     def _window_bounds(
         self,
         n_days: int,
-        primary_arrivals: np.ndarray,
-        sec_arrivals: np.ndarray | None,
+        primary_arrivals: IntArray,
+        sec_arrivals: IntArray | None,
         sec_start: int,
         merge_day: int,
     ) -> list[tuple[int, int]]:
@@ -443,7 +456,7 @@ class FastGenerator:
             grown[:have] = old
             setattr(self, name, grown)
 
-    def _alloc(self, count: int, origin: int) -> np.ndarray:
+    def _alloc(self, count: int, origin: int) -> IntArray:
         ids = np.arange(self._next_node, self._next_node + count, dtype=np.int64)
         self._next_node += count
         self._ensure_nodes(self._next_node)
@@ -453,9 +466,9 @@ class FastGenerator:
     def _register_arrivals(
         self,
         uni: _FastUniverse,
-        ids: np.ndarray,
-        times: np.ndarray,
-        loner_mask: np.ndarray,
+        ids: IntArray,
+        times: FloatArray,
+        loner_mask: BoolArray,
         n_days: int,
     ) -> None:
         """Assign communities/clusters, draw budgets, schedule activity."""
@@ -474,7 +487,7 @@ class FastGenerator:
             uni.defer_loner(times[loner_mask], loners, clusters)
             self._schedule_loners(uni, loners, times[loner_mask], n_days)
 
-    def _assign_communities(self, uni: _FastUniverse, count: int) -> np.ndarray:
+    def _assign_communities(self, uni: _FastUniverse, count: int) -> IntArray:
         """Batched dampened CRP over the universe's pre-batch membership."""
         rng = self.rng
         cfg = uni.config
@@ -528,7 +541,7 @@ class FastGenerator:
         uni.membership_draws.extend(out)
         return out
 
-    def _assign_clusters(self, uni: _FastUniverse, count: int) -> np.ndarray:
+    def _assign_clusters(self, uni: _FastUniverse, count: int) -> IntArray:
         """Fill loner invite clusters exactly like the legacy open-cluster walk."""
         rng = self.rng
         out = np.empty(count, dtype=np.int64)
@@ -548,7 +561,7 @@ class FastGenerator:
         return out
 
     def _schedule_regular(
-        self, uni: _FastUniverse, ids: np.ndarray, times: np.ndarray, n_days: int
+        self, uni: _FastUniverse, ids: IntArray, times: FloatArray, n_days: int
     ) -> None:
         """Vectorized ``draw_budget`` + ``schedule_activity`` for a batch."""
         cfg = uni.config
@@ -586,7 +599,7 @@ class FastGenerator:
         uni.push_schedule(all_times, all_nodes, n_days)
 
     def _schedule_loners(
-        self, uni: _FastUniverse, ids: np.ndarray, times: np.ndarray, n_days: int
+        self, uni: _FastUniverse, ids: IntArray, times: FloatArray, n_days: int
     ) -> None:
         cfg = self.config
         rng = self.rng
@@ -631,8 +644,8 @@ class FastGenerator:
         uni: _FastUniverse,
         d0: int,
         d1: int,
-        arrivals: np.ndarray,
-        factors: np.ndarray | None,
+        arrivals: IntArray,
+        factors: FloatArray | None,
         origin: int,
         buf: _WindowBuffer | None,
     ) -> None:
@@ -673,6 +686,7 @@ class FastGenerator:
             )
             if self._merged:
                 merge = self.config.merge
+                assert merge is not None
                 premerge = self.origin_code[nodes] != _NEW
                 w_local = np.where(
                     premerge, np.minimum(w_local, merge.post_merge_local_probability), w_local
@@ -703,9 +717,9 @@ class FastGenerator:
     def _attach_batch(
         self,
         uni: _FastUniverse,
-        times: np.ndarray | None,
-        nodes: np.ndarray | None,
-        w_local: np.ndarray | None,
+        times: FloatArray | None,
+        nodes: IntArray | None,
+        w_local: FloatArray | None,
         buf: _WindowBuffer | None,
         carry: "_Carry | None",
         *,
@@ -723,6 +737,7 @@ class FastGenerator:
         rng = self.rng
         bias = self._merged and uni.emit
         if nodes is not None and len(nodes):
+            assert times is not None and w_local is not None
             fresh = self.degree[nodes] < cfg.friend_cap
             t, n, w = times[fresh], nodes[fresh], w_local[fresh]
             a = np.zeros(len(n), dtype=np.int64)
@@ -820,12 +835,12 @@ class FastGenerator:
     def _drain_burst(
         self,
         uni: _FastUniverse,
-        ns: np.ndarray,
-        ws: np.ndarray,
-        budget: np.ndarray,
-        times: np.ndarray,
+        ns: IntArray,
+        ws: FloatArray,
+        budget: IntArray,
+        times: FloatArray,
         buf: "_WindowBuffer | None",
-    ) -> np.ndarray:
+    ) -> IntArray:
         """Spend each initiator's remaining attempts at once; returns winners.
 
         All proposals see the burst-start pool state (the same staleness a
@@ -878,9 +893,10 @@ class FastGenerator:
         self._commit_edges(uni, times[winners], ns[winners], cand[pick], buf)
         return winners
 
-    def _bias_of(self, initiators: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    def _bias_of(self, initiators: IntArray, candidates: IntArray) -> FloatArray:
         """Vectorized post-merge origin-homophily acceptance probabilities."""
         merge = self.config.merge
+        assert merge is not None
         top = max(merge.internal_bias, merge.external_bias, merge.new_bias)
         init_origin = self.origin_code[initiators]
         cand_origin = self.origin_code[candidates]
@@ -895,11 +911,11 @@ class FastGenerator:
     def _propose(
         self,
         uni: _FastUniverse,
-        initiators: np.ndarray,
-        w_local: np.ndarray,
+        initiators: IntArray,
+        w_local: FloatArray,
         w_pa: float,
         w_spot: float,
-    ) -> np.ndarray:
+    ) -> IntArray:
         """One candidate per initiator (-1 when no pool can serve it)."""
         cfg = uni.config
         rng = self.rng
@@ -973,10 +989,10 @@ class FastGenerator:
     def _pa_pick_buckets(
         self,
         pools: BucketPools,
-        buckets: np.ndarray,
-        targets: np.ndarray,
+        buckets: IntArray,
+        targets: IntArray,
         w_spot: float,
-        out: np.ndarray,
+        out: IntArray,
     ) -> None:
         """Degree-proportional draw per bucket, spotlight-amplified early."""
         rng = self.rng
@@ -992,7 +1008,7 @@ class FastGenerator:
             out[targets[spot]] = draws[np.arange(m), best]
 
     def _pa_pick_global(
-        self, endpoints: GrowingArray, targets: np.ndarray, w_spot: float, out: np.ndarray
+        self, endpoints: GrowingArray, targets: IntArray, w_spot: float, out: IntArray
     ) -> None:
         rng = self.rng
         k = self.config.spotlight_samples
@@ -1011,9 +1027,9 @@ class FastGenerator:
     def _commit_edges(
         self,
         uni: _FastUniverse,
-        times: np.ndarray,
-        us: np.ndarray,
-        vs: np.ndarray,
+        times: FloatArray,
+        us: IntArray,
+        vs: IntArray,
         buf: _WindowBuffer | None,
     ) -> None:
         """Register accepted edges in every pool and emit them (if emitting)."""
@@ -1055,6 +1071,7 @@ class FastGenerator:
     ) -> None:
         """Vectorized one-day import of the secondary network (legacy §5 model)."""
         merge = self.config.merge
+        assert merge is not None
         rng = self.rng
         rec = get_recorder()
         merge_day = float(int(merge.merge_day))
@@ -1094,6 +1111,7 @@ class FastGenerator:
 
                 # Re-home the secondary adjacency/edges; degrees are already
                 # global, so only pool state moves.
+                assert secondary.edges_u is not None and secondary.edges_v is not None
                 edge_us = secondary.edges_u.view()
                 edge_vs = secondary.edges_v.view()
                 primary.edge_keys.add(pack_edge_keys(edge_us, edge_vs))
@@ -1115,8 +1133,9 @@ class FastGenerator:
             self._schedule_survivors(primary, primary_premerge, sec_nodes, merge_day)
             self._merged = True
 
-    def _silence_duplicates(self, primary_nodes: np.ndarray, sec_nodes: np.ndarray) -> None:
+    def _silence_duplicates(self, primary_nodes: IntArray, sec_nodes: IntArray) -> None:
         merge = self.config.merge
+        assert merge is not None
         rng = self.rng
         pool = min(len(primary_nodes), len(sec_nodes))
         dup_count = int(merge.duplicate_fraction * pool)
@@ -1130,11 +1149,12 @@ class FastGenerator:
     def _schedule_survivors(
         self,
         primary: _FastUniverse,
-        primary_nodes: np.ndarray,
-        sec_nodes: np.ndarray,
+        primary_nodes: IntArray,
+        sec_nodes: IntArray,
         merge_day: float,
     ) -> None:
         merge = self.config.merge
+        assert merge is not None
         rng = self.rng
         n_days = int(math.ceil(self.config.days))
         for group, multiplier, window_factor in (
@@ -1162,13 +1182,13 @@ class FastGenerator:
             primary.push_schedule(times[keep], nodes[keep], n_days)
 
 
-def _segmented_cumsum(values: np.ndarray, seg_lengths: np.ndarray) -> np.ndarray:
+def _segmented_cumsum(values: FloatArray, seg_lengths: IntArray) -> FloatArray:
     """Per-segment running sums of ``values`` split into ``seg_lengths`` runs."""
     if len(values) == 0:
         return values
-    cumulative = np.cumsum(values)
+    cumulative = np.cumsum(values, dtype=np.float64)
     offsets = np.concatenate(
-        (np.zeros(1, dtype=np.int64), np.cumsum(seg_lengths))
+        (np.zeros(1, dtype=np.int64), np.cumsum(seg_lengths, dtype=np.int64))
     )[:-1]
     seg_lengths = np.asarray(seg_lengths)
     nonzero = seg_lengths > 0
@@ -1186,10 +1206,10 @@ def generate_trace_fast(
 
 def generate_store_fast(
     config: GeneratorConfig,
-    path,
+    path: str | Path,
     seed: int | np.random.Generator | None = 0,
     *,
     chunk_events: int | None = None,
-):
+) -> Manifest:
     """Generate with the fast engine straight into a store; returns the manifest."""
     return FastGenerator(config, seed).generate_to_store(path, chunk_events=chunk_events)

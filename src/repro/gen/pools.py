@@ -23,8 +23,16 @@ Python objects, no hashing, no dict churn.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import DTypeLike
+
+from repro.util.arrays import AnyArray, BoolArray, FloatArray, IntArray, UIntArray
 
 __all__ = ["BucketPools", "GrowingArray", "HashKeySet", "SortedKeySet", "pack_edge_keys"]
+
+
+def _exclusive_cumsum(sizes: IntArray) -> IntArray:
+    """Int64 running totals shifted right by one (``[0, s0, s0+s1, ...]``)."""
+    return np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)))[:-1]
 
 
 class GrowingArray:
@@ -32,18 +40,18 @@ class GrowingArray:
 
     __slots__ = ("_data", "_size")
 
-    def __init__(self, dtype: np.dtype | type = np.int64, capacity: int = 1024) -> None:
+    def __init__(self, dtype: DTypeLike = np.int64, capacity: int = 1024) -> None:
         self._data = np.empty(max(1, capacity), dtype=dtype)
         self._size = 0
 
     def __len__(self) -> int:
         return self._size
 
-    def view(self) -> np.ndarray:
+    def view(self) -> AnyArray:
         """The live contents (a view — do not mutate)."""
         return self._data[: self._size]
 
-    def extend(self, values: np.ndarray) -> None:
+    def extend(self, values: AnyArray) -> None:
         """Append ``values`` in order."""
         count = len(values)
         if count == 0:
@@ -59,7 +67,7 @@ class GrowingArray:
         self._data[self._size : need] = values
         self._size = need
 
-    def sample(self, u: np.ndarray) -> np.ndarray:
+    def sample(self, u: FloatArray) -> AnyArray:
         """Uniform draws: one element per entry of ``u`` (floats in [0, 1))."""
         idx = (u * self._size).astype(np.int64)
         return self._data[np.minimum(idx, self._size - 1)]
@@ -98,7 +106,7 @@ class BucketPools:
         """Live entries across all buckets."""
         return self._live
 
-    def sizes_of(self, buckets: np.ndarray) -> np.ndarray:
+    def sizes_of(self, buckets: IntArray) -> IntArray:
         """Per-bucket live sizes for an array of bucket ids."""
         return self._size[buckets]
 
@@ -131,18 +139,18 @@ class BucketPools:
         self._cap[lo:hi] = self._default_cap
         self._tail += total
 
-    def values_of(self, bucket: int) -> np.ndarray:
+    def values_of(self, bucket: int) -> IntArray:
         """Live contents of one bucket (a view — do not mutate)."""
         start = int(self._start[bucket])
         return self._data[start : start + int(self._size[bucket])]
 
-    def flatten(self) -> tuple[np.ndarray, np.ndarray]:
+    def flatten(self) -> tuple[IntArray, IntArray]:
         """All live entries as ``(bucket_ids, values)``, bucket-ordered."""
         sizes = self._size
         buckets = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
         return buckets, self._data[self._gather_indices()]
 
-    def append(self, buckets: np.ndarray, values: np.ndarray) -> None:
+    def append(self, buckets: IntArray, values: AnyArray) -> None:
         """Append ``values[i]`` to pool ``buckets[i]`` (within-bucket order
         is deterministic but unspecified)."""
         count = len(buckets)
@@ -175,13 +183,13 @@ class BucketPools:
         self._size[touched] += group_lengths
         self._live += count
 
-    def sample(self, buckets: np.ndarray, u: np.ndarray) -> np.ndarray:
+    def sample(self, buckets: IntArray, u: FloatArray) -> IntArray:
         """One uniform draw per bucket id (caller guarantees non-empty buckets)."""
         sizes = self._size[buckets]
         idx = np.minimum((u * sizes).astype(np.int64), sizes - 1)
         return self._data[self._start[buckets] + idx]
 
-    def sample_block(self, buckets: np.ndarray, u: np.ndarray) -> np.ndarray:
+    def sample_block(self, buckets: IntArray, u: FloatArray) -> IntArray:
         """``u`` of shape (m, k): k independent draws per bucket, shape (m, k)."""
         sizes = self._size[buckets][:, None]
         idx = np.minimum((u * sizes).astype(np.int64), sizes - 1)
@@ -189,7 +197,7 @@ class BucketPools:
 
     # -- arena management ----------------------------------------------
 
-    def _relocate_many(self, buckets: np.ndarray, need: np.ndarray) -> None:
+    def _relocate_many(self, buckets: IntArray, need: IntArray) -> None:
         """Move overfull buckets to the arena tail with doubled capacity."""
         target = np.maximum(need * 2, 4)
         caps = np.int64(1) << np.ceil(np.log2(target)).astype(np.int64)
@@ -197,11 +205,11 @@ class BucketPools:
         total = int(caps.sum())
         if self._tail + total > len(self._data):
             self._grow_arena(total)  # may compact: re-read _start below
-        new_starts = self._tail + np.cumsum(caps) - caps
+        new_starts = self._tail + np.cumsum(caps, dtype=np.int64) - caps
         sizes = self._size[buckets]
         moved = int(sizes.sum())
         if moved:
-            before = np.cumsum(sizes) - sizes
+            before = np.cumsum(sizes, dtype=np.int64) - sizes
             within = np.arange(moved, dtype=np.int64) - np.repeat(before, sizes)
             src = np.repeat(self._start[buckets], sizes) + within
             self._data[np.repeat(new_starts, sizes) + within] = self._data[src]
@@ -228,19 +236,19 @@ class BucketPools:
         grown[: self._tail] = self._data[: self._tail]
         self._data = grown
 
-    def _gather_indices(self) -> np.ndarray:
+    def _gather_indices(self) -> IntArray:
         sizes = self._size
         total = int(sizes.sum())
-        before = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes)))[:-1]
+        before = _exclusive_cumsum(sizes)
         within = np.arange(total, dtype=np.int64) - np.repeat(before, sizes)
         return np.repeat(self._start, sizes) + within
 
     def _compact(self) -> None:
         src = self._gather_indices()
         caps = np.maximum(4, 2 * self._size)
-        new_starts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(caps)))[:-1]
+        new_starts = _exclusive_cumsum(caps)
         within = np.arange(len(src), dtype=np.int64) - np.repeat(
-            np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(self._size)))[:-1], self._size
+            _exclusive_cumsum(self._size), self._size
         )
         dst = np.repeat(new_starts, self._size) + within
         tail = int(new_starts[-1] + caps[-1]) if len(caps) else 0
@@ -252,10 +260,21 @@ class BucketPools:
         self._tail = tail
 
 
-def pack_edge_keys(us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-    """Pack undirected edges into sortable int64 keys (``min << 32 | max``)."""
+def pack_edge_keys(us: AnyArray, vs: AnyArray) -> IntArray:
+    """Pack undirected edges into sortable int64 keys (``min << 32 | max``).
+
+    Each endpoint gets 32 bits, so node ids must stay below ``2**32`` —
+    past that, distinct edges silently collide onto one key and the
+    membership sets drop real edges.  Checking ``hi`` alone suffices
+    (``lo <= hi`` elementwise); paper scale is ~19.4M nodes, ~2**24.5.
+    """
     lo = np.minimum(us, vs).astype(np.int64)
     hi = np.maximum(us, vs).astype(np.int64)
+    if len(hi) and int(hi.max()) >= 1 << 32:
+        raise ValueError(
+            f"node id {int(hi.max())} does not fit the 32-bit edge-key "
+            "packing; ids must stay below 2**32"
+        )
     return (lo << 32) | hi
 
 
@@ -271,13 +290,13 @@ class SortedKeySet:
     def __init__(self, merge_min: int = 4096) -> None:
         self._base = np.empty(0, dtype=np.int64)
         self._pending = GrowingArray(np.int64)
-        self._pending_sorted: np.ndarray | None = None
+        self._pending_sorted: IntArray | None = None
         self._merge_min = merge_min
 
     def __len__(self) -> int:
         return len(self._base) + len(self._pending)
 
-    def add(self, keys: np.ndarray) -> None:
+    def add(self, keys: IntArray) -> None:
         """Insert ``keys`` (caller guarantees they are not already present)."""
         self._pending.extend(keys)
         self._pending_sorted = None
@@ -288,12 +307,12 @@ class SortedKeySet:
             self._pending = GrowingArray(np.int64)
 
     @staticmethod
-    def _search(sorted_keys: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    def _search(sorted_keys: IntArray, keys: IntArray) -> BoolArray:
         pos = np.searchsorted(sorted_keys, keys)
         clipped = np.minimum(pos, len(sorted_keys) - 1)
         return (pos < len(sorted_keys)) & (sorted_keys[clipped] == keys)
 
-    def contains(self, keys: np.ndarray) -> np.ndarray:
+    def contains(self, keys: IntArray) -> BoolArray:
         """Boolean membership mask for ``keys``."""
         if len(self._base):
             hit = self._search(self._base, keys)
@@ -331,10 +350,10 @@ class HashKeySet:
     def __len__(self) -> int:
         return self._count
 
-    def _slots(self, keys: np.ndarray) -> np.ndarray:
+    def _slots(self, keys: AnyArray) -> UIntArray:
         return (keys.astype(np.uint64) * self._MULT) >> self._shift
 
-    def add(self, keys: np.ndarray) -> None:
+    def add(self, keys: AnyArray) -> None:
         """Insert ``keys`` (caller guarantees nonzero, unique, not present)."""
         if not len(keys):
             return
@@ -356,7 +375,7 @@ class HashKeySet:
             slots = (slots[keep] + np.uint64(1)) & mask
         self._count += len(keys)
 
-    def contains(self, keys: np.ndarray) -> np.ndarray:
+    def contains(self, keys: AnyArray) -> BoolArray:
         """Boolean membership mask for ``keys``."""
         out = np.zeros(len(keys), dtype=bool)
         if not len(keys) or self._count == 0:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
+from collections.abc import Callable
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.graph.events import (
     NodeArrival,
 )
 from repro.graph.snapshot import GraphSnapshot
+from repro.util.arrays import IntArray
 from repro.util.rng import make_rng
 
 __all__ = ["RenrenGenerator", "generate_trace", "secondary_config"]
@@ -162,7 +164,9 @@ class RenrenGenerator:
         secondary_arrivals = self._secondary_arrival_counts()
 
         for day in range(n_days):
-            merged_now = not merge_done and day >= int(cfg.merge.merge_day)
+            merged_now = (
+                not merge_done and cfg.merge is not None and day >= int(cfg.merge.merge_day)
+            )
             if merged_now:
                 self._execute_merge(primary, secondary)
                 merge_done = True
@@ -171,7 +175,8 @@ class RenrenGenerator:
                 primary, day, int(primary_arrivals[day]), self._primary_origin(day)
             )
             if secondary is not None and secondary_arrivals is not None:
-                sec_day = day - int(self.config.merge.secondary_start_day)
+                assert cfg.merge is not None
+                sec_day = day - int(cfg.merge.secondary_start_day)
                 if 0 <= sec_day < len(secondary_arrivals):
                     self._run_secondary_day(secondary, day, int(secondary_arrivals[sec_day]))
 
@@ -233,10 +238,12 @@ class RenrenGenerator:
             bias = None
             local_override = self._effective_locality(day)
             if self._merge_executed:
+                merge = self.config.merge
+                assert merge is not None
                 bias = self._post_merge_bias(node)
                 if self.origin_of[node] != ORIGIN_NEW:
                     local_override = min(
-                        local_override, self.config.merge.post_merge_local_probability
+                        local_override, merge.post_merge_local_probability
                     )
             dest = universe.attach.choose_destination(
                 node, universe.graph, accept_bias=bias, local_probability=local_override
@@ -282,7 +289,7 @@ class RenrenGenerator:
     def _secondary_config(self) -> GeneratorConfig:
         return secondary_config(self.config)
 
-    def _secondary_arrival_counts(self) -> np.ndarray | None:
+    def _secondary_arrival_counts(self) -> IntArray | None:
         if self.config.merge is None:
             return None
         sec_cfg = self._secondary_config()
@@ -328,6 +335,7 @@ class RenrenGenerator:
         post-merge activity schedule.
         """
         merge = self.config.merge
+        assert merge is not None
         merge_day = float(int(merge.merge_day))
         primary_premerge = [n for n, o in self.origin_of.items() if o == ORIGIN_XIAONEI]
 
@@ -358,6 +366,7 @@ class RenrenGenerator:
 
     def _silence_duplicates(self, primary_nodes: list[int], secondary_nodes: list[int]) -> None:
         merge = self.config.merge
+        assert merge is not None
         pool = min(len(primary_nodes), len(secondary_nodes))
         dup_count = int(merge.duplicate_fraction * pool)
         if dup_count == 0:
@@ -376,6 +385,7 @@ class RenrenGenerator:
         merge_day: float,
     ) -> None:
         merge = self.config.merge
+        assert merge is not None
         for origin_nodes, multiplier, window_factor in (
             (primary_nodes, merge.primary_activity_multiplier, 1.5),
             (secondary_nodes, 1.0, 1.0),
@@ -399,7 +409,7 @@ class RenrenGenerator:
                     if t < self.config.days:
                         primary.schedule_event(t, node)
 
-    def _post_merge_bias(self, initiator: int):
+    def _post_merge_bias(self, initiator: int) -> Callable[[int], float]:
         """Acceptance-bias callback implementing post-merge origin homophily.
 
         Pre-merge initiators prefer internal over external edges
@@ -408,6 +418,7 @@ class RenrenGenerator:
         accepted.  Post-merge initiators only avoid inactive candidates.
         """
         merge = self.config.merge
+        assert merge is not None
         my_origin = self.origin_of[initiator]
         inactive = self._inactive
         if my_origin == ORIGIN_NEW:

@@ -123,6 +123,6 @@ def gather_neighbors(
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    ends = np.cumsum(counts)
+    ends = np.cumsum(counts, dtype=np.int64)
     flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
     return indices[flat]

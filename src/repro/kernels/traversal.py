@@ -66,7 +66,7 @@ def connected_components_csr(csr: CSRGraph) -> list[set[int]]:
     with get_recorder().span("kernels.components", nodes=csr.num_nodes):
         labels, sizes = component_labels(csr)
         order = np.argsort(labels, kind="stable")
-        boundaries = np.cumsum(sizes)[:-1]
+        boundaries = np.cumsum(sizes, dtype=np.int64)[:-1]
         components = [
             set(ids.tolist()) for ids in np.split(csr.node_ids[order], boundaries)
         ]

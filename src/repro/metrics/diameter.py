@@ -47,7 +47,7 @@ def effective_diameter_sampled(
     if not counts:
         return float("nan")
     max_d = max(counts)
-    cumulative = np.cumsum([counts.get(d, 0) for d in range(1, max_d + 1)])
+    cumulative = np.cumsum([counts.get(d, 0) for d in range(1, max_d + 1)], dtype=np.int64)
     total = cumulative[-1]
     target = quantile * total
     # Smallest integer g with cumulative(g) >= target, interpolated.

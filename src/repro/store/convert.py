@@ -20,6 +20,7 @@ from repro.graph.stream_io import _HEADER, iter_events
 from repro.store.format import DEFAULT_CHUNK_EVENTS, Manifest
 from repro.store.reader import EventStore
 from repro.store.writer import StoreWriter
+from repro.util.arrays import IntArray
 
 
 class _OriginInterner:
@@ -29,13 +30,15 @@ class _OriginInterner:
         self._writer = writer
         self._codes: dict[str, int] = {}
 
-    def codes_for(self, labels: list[str]) -> np.ndarray:
+    def codes_for(self, labels: list[str]) -> IntArray:
         fresh = list(dict.fromkeys(lb for lb in labels if lb not in self._codes))
         if fresh:
             for label, code in zip(fresh, self._writer.intern_origins(fresh), strict=True):
                 self._codes[label] = int(code)
+        # int64, not uint16: append_arrays owns the bounds-checked cast to
+        # the column dtype, so a cache bug here raises instead of wrapping.
         return np.fromiter(
-            (self._codes[lb] for lb in labels), dtype="<u2", count=len(labels)
+            (self._codes[lb] for lb in labels), dtype=np.int64, count=len(labels)
         )
 
 __all__ = [

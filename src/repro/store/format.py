@@ -43,6 +43,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.util.arrays import AnyArray
+
 __all__ = [
     "DEFAULT_CHUNK_EVENTS",
     "EDGE_COLUMNS",
@@ -191,7 +193,7 @@ def chunk_nbytes(columns: Sequence[tuple[str, str]], count: int) -> int:
 
 def map_chunk(
     root: Path, chunk: ChunkMeta, columns: Sequence[tuple[str, str]]
-) -> dict[str, np.ndarray]:
+) -> dict[str, AnyArray]:
     """Memory-map one chunk file into read-only per-column views.
 
     The file size is checked against the manifest count first, so a
@@ -213,7 +215,7 @@ def map_chunk(
     if chunk.count == 0:
         return {name: np.empty(0, dtype=dtype) for name, dtype in columns}
     raw = np.memmap(path, mode="r", dtype=np.uint8)
-    out: dict[str, np.ndarray] = {}
+    out: dict[str, AnyArray] = {}
     offset = 0
     for name, dtype in columns:
         width = np.dtype(dtype).itemsize * chunk.count
@@ -224,8 +226,8 @@ def map_chunk(
 
 def content_digest_of_chunks(
     origins: Sequence[str],
-    node_chunks: Iterable[dict[str, np.ndarray]],
-    edge_chunks: Iterable[dict[str, np.ndarray]],
+    node_chunks: Iterable[dict[str, AnyArray]],
+    edge_chunks: Iterable[dict[str, AnyArray]],
 ) -> str:
     """The store's content digest, computed from mapped column chunks.
 

@@ -35,6 +35,7 @@ from repro.store.format import (
     content_digest_of_chunks,
     map_chunk,
 )
+from repro.util.arrays import AnyArray, FloatArray, IntArray, UInt16Array
 
 __all__ = ["EventStore"]
 
@@ -53,7 +54,7 @@ class _ChunkIndex:
             self.offsets.append(self.offsets[-1] + chunk.count)
         self.t_min = [chunk.t_min for chunk in chunks]
         self.t_max = [chunk.t_max for chunk in chunks]
-        self._maps: dict[int, dict[str, np.ndarray]] = {}
+        self._maps: dict[int, dict[str, AnyArray]] = {}
 
     @property
     def total(self) -> int:
@@ -75,7 +76,7 @@ class _ChunkIndex:
                     chunk=chunk.file,
                 )
 
-    def map(self, index: int) -> dict[str, np.ndarray]:
+    def map(self, index: int) -> dict[str, AnyArray]:
         cols = self._maps.get(index)
         if cols is None:
             cols = map_chunk(self.root, self.chunks[index], self.columns)
@@ -89,7 +90,7 @@ class _ChunkIndex:
                 )
         return cols
 
-    def column(self, name: str) -> np.ndarray:
+    def column(self, name: str) -> AnyArray:
         """One column concatenated across all chunks (copies)."""
         dtype = dict(self.columns)[name]
         if not self.chunks:
@@ -104,11 +105,11 @@ class _ChunkIndex:
             count += int(np.searchsorted(self.map(full)["time"], time, side="right"))
         return count
 
-    def window(self, start: float, end: float) -> dict[str, np.ndarray]:
+    def window(self, start: float, end: float) -> dict[str, AnyArray]:
         """All columns for events with ``start <= time <= end``."""
         first = bisect.bisect_left(self.t_max, start)
         last = bisect.bisect_right(self.t_min, end)
-        parts: list[dict[str, np.ndarray]] = []
+        parts: list[dict[str, AnyArray]] = []
         for index in range(first, last):
             cols = self.map(index)
             times = cols["time"]
@@ -124,11 +125,11 @@ class _ChunkIndex:
             name: np.concatenate([part[name] for part in parts]) for name, _ in self.columns
         }
 
-    def rows(self, lo: int, hi: int) -> dict[str, np.ndarray]:
+    def rows(self, lo: int, hi: int) -> dict[str, AnyArray]:
         """All columns for events with global index in ``[lo, hi)``."""
         lo = max(0, lo)
         hi = min(self.total, hi)
-        parts: list[dict[str, np.ndarray]] = []
+        parts: list[dict[str, AnyArray]] = []
         index = bisect.bisect_right(self.offsets, lo) - 1
         while index < len(self.chunks) and self.offsets[index] < hi:
             cols = self.map(index)
@@ -230,7 +231,7 @@ class EventStore:
 
     # -- columnar access -----------------------------------------------
 
-    def node_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def node_arrays(self) -> tuple[FloatArray, IntArray, UInt16Array]:
         """All node events as ``(time, node, origin_code)`` arrays."""
         return (
             self._nodes.column("time"),
@@ -238,7 +239,7 @@ class EventStore:
             self._nodes.column("origin"),
         )
 
-    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def edge_arrays(self) -> tuple[FloatArray, IntArray, IntArray]:
         """All edge events as ``(time, u, v)`` arrays."""
         return (
             self._edges.column("time"),
@@ -246,12 +247,12 @@ class EventStore:
             self._edges.column("v"),
         )
 
-    def nodes_in(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def nodes_in(self, start: float, end: float) -> tuple[FloatArray, IntArray, UInt16Array]:
         """Node events with ``start <= time <= end`` as columns."""
         cols = self._nodes.window(start, end)
         return cols["time"], cols["node"], cols["origin"]
 
-    def edges_in(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def edges_in(self, start: float, end: float) -> tuple[FloatArray, IntArray, IntArray]:
         """Edge events with ``start <= time <= end`` as columns."""
         cols = self._edges.window(start, end)
         return cols["time"], cols["u"], cols["v"]
@@ -306,7 +307,7 @@ class EventStore:
             return stream
 
     def _build_stream(
-        self, node_cols: dict[str, np.ndarray], edge_cols: dict[str, np.ndarray]
+        self, node_cols: dict[str, AnyArray], edge_cols: dict[str, AnyArray]
     ) -> EventStream:
         labels = self.manifest.origins
         try:

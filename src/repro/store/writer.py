@@ -36,6 +36,7 @@ from repro.store.format import (
     content_digest_of_chunks,
     map_chunk,
 )
+from repro.util.arrays import AnyArray, IntArray, UInt16Array
 
 __all__ = ["StoreWriter"]
 
@@ -50,13 +51,13 @@ class _ColumnBuffer:
         self.kind = kind
         self.columns = columns
         self.chunk_events = chunk_events
-        self.batches: list[tuple[np.ndarray, ...]] = []
+        self.batches: list[tuple[AnyArray, ...]] = []
         self.buffered = 0
         self.total = 0
         self.last_time = -np.inf
         self.chunks: list[ChunkMeta] = []
 
-    def append(self, arrays: tuple[np.ndarray, ...]) -> None:
+    def append(self, arrays: tuple[AnyArray, ...]) -> None:
         count = len(arrays[0])
         if any(len(arr) != count for arr in arrays):
             raise ValueError(f"{self.kind} batch columns have mismatched lengths")
@@ -93,7 +94,7 @@ class _ColumnBuffer:
         self.batches = [tuple(col[start:] for col in cols)] if start < self.buffered else []
         self.buffered -= start
 
-    def _write_chunk(self, cols: list[np.ndarray], count: int) -> None:
+    def _write_chunk(self, cols: list[AnyArray], count: int) -> None:
         name = f"{self.kind}-{len(self.chunks):06d}.bin"
         blob = b"".join(
             np.ascontiguousarray(col, dtype=dtype).tobytes()
@@ -156,27 +157,50 @@ class StoreWriter:
 
     # -- batch appends -------------------------------------------------
 
-    def intern_origins(self, labels: Sequence[str]) -> np.ndarray:
+    def intern_origins(self, labels: Sequence[str]) -> UInt16Array:
         """Intern origin labels and return their stable ``uint16`` codes.
 
         Lets array producers translate their own origin encoding into this
         writer's string table once per label instead of once per event;
-        the codes feed :meth:`append_arrays`.
+        the codes feed :meth:`append_arrays`.  Raises :class:`StoreError`
+        when the table would exceed the ``uint16`` code space — the codes
+        are interned in int64 and bounds-checked before the column cast,
+        so an overflowing table can never wrap into a valid-looking code.
         """
         self._ensure_open()
-        return np.fromiter(
-            (self._origin_code(label) for label in labels), dtype="<u2", count=len(labels)
+        codes = np.fromiter(
+            (self._origin_code(label) for label in labels),
+            dtype=np.int64,
+            count=len(labels),
         )
+        return self._pack_codes(codes)
+
+    def _pack_codes(self, codes: IntArray) -> UInt16Array:
+        """Bounds-check int64 origin codes, then pack them to ``uint16``.
+
+        The check precedes the cast: ``np.asarray(x, dtype="<u2")`` wraps
+        out-of-range values modulo 2**16, so validating *after* a narrow
+        cast would wave bad codes through as small valid ones.
+        """
+        if len(codes) and (
+            int(codes.min()) < 0 or int(codes.max()) >= len(self._origin_codes)
+        ):
+            worst = int(codes.min()) if int(codes.min()) < 0 else int(codes.max())
+            raise StoreError(
+                f"origin code {worst} is not interned "
+                f"({len(self._origin_codes)} labels known); call intern_origins first"
+            )
+        return codes.astype("<u2")
 
     def append_arrays(
         self,
         *,
-        node_times: np.ndarray | None = None,
-        node_ids: np.ndarray | None = None,
-        node_origins: np.ndarray | None = None,
-        edge_times: np.ndarray | None = None,
-        edge_us: np.ndarray | None = None,
-        edge_vs: np.ndarray | None = None,
+        node_times: AnyArray | None = None,
+        node_ids: AnyArray | None = None,
+        node_origins: AnyArray | None = None,
+        edge_times: AnyArray | None = None,
+        edge_us: AnyArray | None = None,
+        edge_vs: AnyArray | None = None,
     ) -> None:
         """Append numpy columns directly — no per-event Python loop.
 
@@ -189,12 +213,10 @@ class StoreWriter:
         if node_times is not None:
             if node_ids is None or node_origins is None:
                 raise ValueError("node batches need node_times, node_ids and node_origins")
-            codes = np.asarray(node_origins, dtype="<u2")
-            if len(codes) and int(codes.max()) >= len(self._origin_codes):
-                raise StoreError(
-                    f"origin code {int(codes.max())} is not interned "
-                    f"({len(self._origin_codes)} labels known); call intern_origins first"
-                )
+            # Widen before validating: the old asarray(dtype="<u2") wrapped
+            # out-of-range codes modulo 2**16 *before* the range check, so
+            # code 65536 sailed through as 0.  RPL021 flags that pattern.
+            codes = self._pack_codes(np.asarray(node_origins, dtype=np.int64))
             self._nodes.append(
                 (
                     np.asarray(node_times, dtype="<f8"),
@@ -215,24 +237,21 @@ class StoreWriter:
 
     def append_nodes(
         self,
-        times: Sequence[float] | np.ndarray,
-        nodes: Sequence[int] | np.ndarray,
+        times: Sequence[float] | AnyArray,
+        nodes: Sequence[int] | AnyArray,
         origins: Sequence[str],
     ) -> None:
         """Append one time-sorted batch of node arrivals."""
-        self._ensure_open()
-        codes = np.fromiter(
-            (self._origin_code(label) for label in origins), dtype="<u2", count=len(origins)
-        )
+        codes = self.intern_origins(origins)
         self._nodes.append(
             (np.asarray(times, dtype="<f8"), np.asarray(nodes, dtype="<i8"), codes)
         )
 
     def append_edges(
         self,
-        times: Sequence[float] | np.ndarray,
-        us: Sequence[int] | np.ndarray,
-        vs: Sequence[int] | np.ndarray,
+        times: Sequence[float] | AnyArray,
+        us: Sequence[int] | AnyArray,
+        vs: Sequence[int] | AnyArray,
     ) -> None:
         """Append one time-sorted batch of edge arrivals."""
         self._ensure_open()

@@ -1,18 +1,38 @@
 """Typed numpy array aliases shared across the strictly-typed layers.
 
 ``mypy --strict`` rejects bare ``np.ndarray`` annotations
-(``disallow_any_generics``); these aliases name the three element types
-the kernel and runtime layers actually use, so signatures stay short and
-the dtype contract is visible at every boundary.
+(``disallow_any_generics``); these aliases name the element types the
+kernel, runtime, store, and gen layers actually use, so signatures stay
+short and the dtype contract is visible at every boundary.
+
+The dtype-flow lint (``repro.devtools.dataflow``) also reads these
+aliases: a parameter annotated ``UInt16Array`` enters the RPL02x rules
+with a known narrow dtype, so overflow-prone arithmetic on it is flagged
+without interprocedural analysis.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 from numpy.typing import NDArray
 
-__all__ = ["BoolArray", "FloatArray", "IntArray"]
+__all__ = [
+    "AnyArray",
+    "BoolArray",
+    "FloatArray",
+    "IntArray",
+    "UInt16Array",
+    "UIntArray",
+]
 
 IntArray = NDArray[np.int64]
 FloatArray = NDArray[np.float64]
 BoolArray = NDArray[np.bool_]
+UIntArray = NDArray[np.uint64]
+#: The store's origin-code column dtype — the one narrow int we persist.
+UInt16Array = NDArray[np.uint16]
+#: Caller-supplied or mixed-dtype arrays (e.g. heterogeneous column maps)
+#: where the element type is a runtime property, not a static contract.
+AnyArray = NDArray[Any]

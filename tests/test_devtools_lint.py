@@ -1,6 +1,8 @@
 """Tests for the static determinism & layering analyzer (repro.devtools)."""
 
+import importlib
 import json
+import time
 from pathlib import Path
 
 from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
@@ -23,7 +25,22 @@ from repro.devtools.rules_determinism import (
     WallClockRule,
     determinism_rules,
 )
+from repro.devtools.rules_arrays import (
+    DowncastWithoutGuardRule,
+    MemmapMutationRule,
+    NarrowArithmeticRule,
+    UnsizedAccumulatorRule,
+    array_rules,
+)
 from repro.devtools.rules_layering import LayeringRule, render_dot
+from repro.devtools.rules_parallel import (
+    BlockingAsyncRule,
+    PoolCallableRule,
+    WorkerGlobalsRule,
+    WorkerManifestRule,
+    parallel_rules,
+)
+from repro.devtools.workers import PICKLE_WHITELIST, WORKER_EXEMPT, WORKER_MANIFEST
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -237,6 +254,375 @@ class TestParityManifestRule:
             )
 
 
+class TestNarrowArithmeticRule:
+    def test_uint16_arithmetic_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def bump(n):\n"
+            "    codes = np.zeros(n, dtype=np.uint16)\n"
+            "    return codes + 1\n"
+        )
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [NarrowArithmeticRule()])
+        assert codes(result) == ["RPL020"]
+
+    def test_guarded_uint16_arithmetic_not_flagged(self, tmp_path):
+        # A preceding bounds check naming the operand counts as a guard.
+        src = (
+            "import numpy as np\n"
+            "def bump(n):\n"
+            "    codes = np.zeros(n, dtype=np.uint16)\n"
+            "    if int(codes.max()) < 60000:\n"
+            "        return codes + 1\n"
+            "    return codes\n"
+        )
+        result = lint_tree(tmp_path, {"store/good.py": src}, [NarrowArithmeticRule()])
+        assert codes(result) == []
+
+    def test_packing_shift_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def pack(a, b):\n"
+            "    lo = np.asarray(a, dtype=np.int64)\n"
+            "    return (lo << 32) | b\n"
+        )
+        result = lint_tree(tmp_path, {"gen/bad.py": src}, [NarrowArithmeticRule()])
+        assert codes(result) == ["RPL020"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "packing shift by 32 bits" in finding.message
+
+    def test_int64_arithmetic_not_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def bump(n):\n"
+            "    x = np.zeros(n, dtype=np.int64)\n"
+            "    return x + 1\n"
+        )
+        result = lint_tree(tmp_path, {"kernels/good.py": src}, [NarrowArithmeticRule()])
+        assert codes(result) == []
+
+    def test_alias_annotated_param_tracked(self, tmp_path):
+        # Parameter dtypes are seeded from repro.util.arrays annotations.
+        src = (
+            "from repro.util.arrays import UInt16Array\n"
+            "def bump(codes: UInt16Array):\n"
+            "    return codes * 2\n"
+        )
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [NarrowArithmeticRule()])
+        assert codes(result) == ["RPL020"]
+
+
+class TestDowncastWithoutGuardRule:
+    def test_asarray_downcast_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def pack(values):\n"
+            "    return np.asarray(values, dtype='<u2')\n"
+        )
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [DowncastWithoutGuardRule()])
+        assert codes(result) == ["RPL021"]
+
+    def test_astype_downcast_flagged(self, tmp_path):
+        src = "def pack(arr):\n    return arr.astype('uint16')\n"
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [DowncastWithoutGuardRule()])
+        assert codes(result) == ["RPL021"]
+
+    def test_guarded_downcast_not_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def pack(values):\n"
+            "    if values.max() >= 1 << 16:\n"
+            "        raise ValueError('out of range')\n"
+            "    return np.asarray(values, dtype='<u2')\n"
+        )
+        result = lint_tree(tmp_path, {"store/good.py": src}, [DowncastWithoutGuardRule()])
+        assert codes(result) == []
+
+    def test_widening_cast_not_flagged(self, tmp_path):
+        # uint8 -> uint16 cannot wrap: the source is provably narrower.
+        src = (
+            "import numpy as np\n"
+            "def widen(n):\n"
+            "    small = np.zeros(n, dtype=np.uint8)\n"
+            "    return small.astype(np.uint16)\n"
+        )
+        result = lint_tree(tmp_path, {"store/good.py": src}, [DowncastWithoutGuardRule()])
+        assert codes(result) == []
+
+    def test_cast_to_wide_dtype_not_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def pack(values):\n"
+            "    return np.asarray(values, dtype=np.int64)\n"
+        )
+        result = lint_tree(tmp_path, {"store/good.py": src}, [DowncastWithoutGuardRule()])
+        assert codes(result) == []
+
+
+class TestUnsizedAccumulatorRule:
+    def test_cumsum_without_dtype_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def offsets(sizes):\n"
+            "    return np.cumsum(sizes)\n"
+        )
+        result = lint_tree(tmp_path, {"kernels/bad.py": src}, [UnsizedAccumulatorRule()])
+        assert codes(result) == ["RPL022"]
+
+    def test_cumsum_with_dtype_not_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def offsets(sizes):\n"
+            "    return np.cumsum(sizes, dtype=np.int64)\n"
+        )
+        result = lint_tree(tmp_path, {"kernels/good.py": src}, [UnsizedAccumulatorRule()])
+        assert codes(result) == []
+
+    def test_provably_wide_input_not_flagged(self, tmp_path):
+        # A 64-bit operand cannot narrow: the dataflow layer proves it.
+        src = (
+            "import numpy as np\n"
+            "def offsets(n):\n"
+            "    sizes = np.zeros(n, dtype=np.int64)\n"
+            "    return np.cumsum(sizes)\n"
+        )
+        result = lint_tree(tmp_path, {"kernels/good.py": src}, [UnsizedAccumulatorRule()])
+        assert codes(result) == []
+
+    def test_method_form_flagged(self, tmp_path):
+        src = "def offsets(sizes):\n    return sizes.cumsum()\n"
+        result = lint_tree(tmp_path, {"kernels/bad.py": src}, [UnsizedAccumulatorRule()])
+        assert codes(result) == ["RPL022"]
+
+    def test_math_prod_not_flagged(self, tmp_path):
+        # math.prod is arbitrary-precision python int — no accumulator width.
+        src = "import math\ndef total(xs):\n    return math.prod(xs)\n"
+        result = lint_tree(tmp_path, {"util/good.py": src}, [UnsizedAccumulatorRule()])
+        assert codes(result) == []
+
+
+class TestMemmapMutationRule:
+    def test_subscript_write_flagged(self, tmp_path):
+        src = (
+            "def patch(reader):\n"
+            "    ids = reader.column('node_ids')\n"
+            "    ids[0] = -1\n"
+            "    return ids\n"
+        )
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [MemmapMutationRule()])
+        assert codes(result) == ["RPL023"]
+
+    def test_inplace_method_and_out_kwarg_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def scan(reader, other):\n"
+            "    ids = reader.column('node_ids')\n"
+            "    ids.sort()\n"
+            "    np.add(other, 1, out=ids)\n"
+        )
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [MemmapMutationRule()])
+        assert codes(result) == ["RPL023", "RPL023"]
+
+    def test_alias_taint_propagates(self, tmp_path):
+        src = (
+            "def patch(reader):\n"
+            "    arrays = reader.node_arrays()\n"
+            "    view = arrays\n"
+            "    view[0] += 1\n"
+        )
+        result = lint_tree(tmp_path, {"store/bad.py": src}, [MemmapMutationRule()])
+        assert codes(result) == ["RPL023"]
+
+    def test_copy_before_write_not_flagged(self, tmp_path):
+        src = (
+            "def patch(reader):\n"
+            "    ids = reader.column('node_ids').copy()\n"
+            "    ids[0] = -1\n"
+            "    return ids\n"
+        )
+        result = lint_tree(tmp_path, {"store/good.py": src}, [MemmapMutationRule()])
+        assert codes(result) == []
+
+
+class TestPoolCallableRule:
+    def test_lambda_submission_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x + 1, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [PoolCallableRule()])
+        assert codes(result) == ["RPL030"]
+
+    def test_local_function_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(items):\n"
+            "    def work(x):\n"
+            "        return x + 1\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [PoolCallableRule()])
+        assert codes(result) == ["RPL030"]
+
+    def test_name_bound_to_lambda_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(items):\n"
+            "    work = lambda x: x + 1\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [PoolCallableRule()])
+        assert codes(result) == ["RPL030"]
+
+    def test_module_function_not_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(x):\n"
+            "    return x + 1\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/good.py": src}, [PoolCallableRule()])
+        assert codes(result) == []
+
+
+class TestWorkerManifestRule:
+    def test_unregistered_worker_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(x):\n"
+            "    return x + 1\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/new.py": src}, [WorkerManifestRule()])
+        assert codes(result) == ["RPL031"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "runtime.new.work" in finding.message
+
+    def test_unresolvable_target_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(handlers, items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(handlers[0], it) for it in items]\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/new.py": src}, [WorkerManifestRule()])
+        assert codes(result) == ["RPL031"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "cannot statically resolve" in finding.message
+
+    def test_manifest_entries_resolve_to_real_functions(self):
+        # The manifest rots like the parity one would: a renamed worker
+        # must fail here, not leave the whitelist pointing at nothing.
+        for qualname in WORKER_MANIFEST:
+            module_name, _, fn_name = qualname.rpartition(".")
+            fn = getattr(importlib.import_module(module_name), fn_name, None)
+            assert callable(fn), f"{qualname} does not resolve to a callable"
+
+    def test_manifest_payloads_are_whitelisted(self):
+        for qualname, payload in WORKER_MANIFEST.items():
+            unknown = set(payload) - PICKLE_WHITELIST
+            assert not unknown, (
+                f"{qualname} declares payload types {sorted(unknown)} missing "
+                "from PICKLE_WHITELIST"
+            )
+
+    def test_exemptions_carry_reasons(self):
+        for qualname, reason in WORKER_EXEMPT.items():
+            assert reason.strip(), f"exemption for {qualname} lacks a reason"
+
+
+class TestWorkerGlobalsRule:
+    def test_uninstalled_global_read_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_STATE = None\n"
+            "def setup(value):\n"
+            "    global _STATE\n"
+            "    _STATE = value\n"
+            "def work(x):\n"
+            "    return _STATE + x\n"
+            "def run(items):\n"
+            "    setup(1)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [WorkerGlobalsRule()])
+        assert codes(result) == ["RPL032"]
+
+    def test_initializer_installed_global_not_flagged(self, tmp_path):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_STATE = None\n"
+            "def _init(value):\n"
+            "    global _STATE\n"
+            "    _STATE = value\n"
+            "def work(x):\n"
+            "    return _STATE + x\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor(initializer=_init, initargs=(1,)) as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/good.py": src}, [WorkerGlobalsRule()])
+        assert codes(result) == []
+
+    def test_dict_literal_initializer_recognized(self, tmp_path):
+        # The runtime builds pool kwargs as a dict and splats them; the
+        # rule must see an initializer through that idiom too.
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_STATE = None\n"
+            "def _init(value):\n"
+            "    global _STATE\n"
+            "    _STATE = value\n"
+            "def work(x):\n"
+            "    return _STATE + x\n"
+            "def run(items):\n"
+            '    kwargs = {"initializer": _init, "initargs": (1,)}\n'
+            "    with ProcessPoolExecutor(**kwargs) as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/good.py": src}, [WorkerGlobalsRule()])
+        assert codes(result) == []
+
+
+class TestBlockingAsyncRule:
+    def test_time_sleep_in_async_flagged(self, tmp_path):
+        src = "import time\nasync def poll():\n    time.sleep(1)\n"
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [BlockingAsyncRule()])
+        assert codes(result) == ["RPL033"]
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        src = (
+            "from subprocess import run as sh\n"
+            "async def deploy():\n"
+            "    return sh(['ls'])\n"
+        )
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [BlockingAsyncRule()])
+        assert codes(result) == ["RPL033"]
+
+    def test_blocking_builtin_flagged(self, tmp_path):
+        src = "async def read(path):\n    with open(path) as fh:\n        return fh.read()\n"
+        result = lint_tree(tmp_path, {"runtime/bad.py": src}, [BlockingAsyncRule()])
+        assert codes(result) == ["RPL033"]
+
+    def test_sync_function_not_flagged(self, tmp_path):
+        src = "import time\ndef poll():\n    time.sleep(1)\n"
+        result = lint_tree(tmp_path, {"runtime/good.py": src}, [BlockingAsyncRule()])
+        assert codes(result) == []
+
+    def test_asyncio_sleep_not_flagged(self, tmp_path):
+        src = "import asyncio\nasync def poll():\n    await asyncio.sleep(1)\n"
+        result = lint_tree(tmp_path, {"runtime/good.py": src}, [BlockingAsyncRule()])
+        assert codes(result) == []
+
+
 class TestSuppressions:
     def test_justified_suppression_suppresses(self, tmp_path):
         src = "s = {1, 2}\nfor x in s:  # repro: noqa[RPL001] -- order-free\n    print(x)\n"
@@ -419,6 +805,26 @@ class TestBaseline:
         demoted = apply_baseline(two.diagnostics, load_baseline(baseline_file))
         assert sorted(d.status for d in demoted) == ["baselined", "error"]
 
+    def test_round_trip_covers_array_and_parallel_rules(self, tmp_path):
+        # The baseline machinery must treat the new rule families exactly
+        # like the determinism ones: adopt-now, fix-later.
+        src = (
+            "import numpy as np\n"
+            "import time\n"
+            "def pack(values):\n"
+            "    return np.asarray(values, dtype=np.uint16)\n"
+            "async def poll():\n"
+            "    time.sleep(1)\n"
+        )
+        rules = [DowncastWithoutGuardRule(), BlockingAsyncRule()]
+        result = lint_tree(tmp_path, {"store/legacy.py": src}, rules)
+        assert sorted(codes(result)) == ["RPL021", "RPL033"]
+        baseline_file = tmp_path / "baseline.json"
+        assert write_baseline(baseline_file, result.diagnostics) == 2
+        demoted = apply_baseline(result.diagnostics, load_baseline(baseline_file))
+        assert [d.status for d in demoted] == ["baselined", "baselined"]
+        assert result.exit_code == 1
+
 
 class TestCLI:
     def write(self, tmp_path, files):
@@ -518,6 +924,14 @@ class TestRepositoryIsClean:
             "RPL003",
             "RPL004",
             "RPL005",
+            "RPL020",
+            "RPL021",
+            "RPL022",
+            "RPL023",
+            "RPL030",
+            "RPL031",
+            "RPL032",
+            "RPL033",
             "RPL010",
         ]
         assert [r.code for r in determinism_rules()] == [
@@ -527,3 +941,23 @@ class TestRepositoryIsClean:
             "RPL004",
             "RPL005",
         ]
+        assert [r.code for r in array_rules()] == [
+            "RPL020",
+            "RPL021",
+            "RPL022",
+            "RPL023",
+        ]
+        assert [r.code for r in parallel_rules()] == [
+            "RPL030",
+            "RPL031",
+            "RPL032",
+            "RPL033",
+        ]
+
+    def test_lint_runtime_budget(self):
+        # The dataflow pass runs on every CI push; a quietly quadratic
+        # dtype inference would first show up as CI latency.  Repo-wide
+        # lint must stay under 10 s (it runs in well under 2 today).
+        began = time.perf_counter()
+        run_lint(default_root())
+        assert time.perf_counter() - began < 10.0

@@ -117,6 +117,27 @@ def test_pack_edge_keys_symmetric_and_unique():
     assert keys[0] == (1 << 32) | 9
 
 
+def test_pack_edge_keys_rejects_ids_beyond_32_bits():
+    # Past 2**32 distinct edges silently collide onto one key (the shift
+    # drops high bits); the guard must raise instead of dropping edges.
+    us = np.array([1 << 32], dtype=np.int64)
+    vs = np.array([0], dtype=np.int64)
+    with pytest.raises(ValueError, match="32-bit"):
+        pack_edge_keys(us, vs)
+
+
+def test_pack_edge_keys_accepts_maximal_valid_id():
+    limit = (1 << 32) - 1
+    keys = pack_edge_keys(
+        np.array([limit, limit, 7], dtype=np.int64),
+        np.array([0, limit, limit], dtype=np.int64),
+    )
+    assert keys[0] == limit  # lo=0 packs high, hi fills the low 32 bits
+    # keys may wrap negative in int64 (lo >= 2**31) but stay injective.
+    assert len(set(keys.tolist())) == 3
+    assert pack_edge_keys(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)).size == 0
+
+
 @pytest.mark.parametrize("seed", [0, 1])
 def test_bucket_pools_deterministic(seed):
     def build():

@@ -1,5 +1,7 @@
 """Tests for repro.runtime: spec seeding, parallel determinism, result cache."""
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -92,6 +94,40 @@ class TestParallelDeterminism:
             compute_metric_timeseries(
                 tiny_stream, {"edges": lambda g: float(g.num_edges)}, workers=2
             )
+
+
+class TestStartMethodContract:
+    """The fork-preferred/spawn-fallback contract (docs/runtime.md)."""
+
+    def test_fork_preferred_when_available(self):
+        from repro.runtime import parallel
+
+        methods = multiprocessing.get_all_start_methods()
+        expected = "fork" if "fork" in methods else "spawn"
+        assert parallel._mp_context().get_start_method() == expected
+
+    def test_spawn_fallback_when_fork_unavailable(self, monkeypatch):
+        # On platforms without fork (Windows, macOS defaults) the runtime
+        # must quietly fall back to spawn rather than raise.
+        from repro.runtime import parallel
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        assert parallel._mp_context().get_start_method() == "spawn"
+
+    def test_spawn_pool_matches_serial(self, tiny_stream, monkeypatch):
+        # Under spawn everything crosses the boundary by pickle (the
+        # WORKER_MANIFEST payloads) instead of fork's copy-on-write pages;
+        # results must stay bit-identical to the serial path.
+        from repro.runtime import parallel
+
+        monkeypatch.setattr(
+            parallel, "_mp_context", lambda: multiprocessing.get_context("spawn")
+        )
+        serial = evaluate_timeseries(tiny_stream, SPEC, interval=INTERVAL, workers=1)
+        spawned = evaluate_timeseries(tiny_stream, SPEC, interval=INTERVAL, workers=2)
+        assert_series_identical(serial, spawned)
 
 
 class TestResultCache:

@@ -20,7 +20,7 @@ from repro.store import (
     store_to_tsv,
     write_store,
 )
-from repro.store.format import MANIFEST_NAME
+from repro.store.format import MANIFEST_NAME, MAX_ORIGINS
 
 
 def small_stream() -> EventStream:
@@ -284,6 +284,44 @@ class TestWriter:
         assert not EventStore.is_store(tmp_path / "s.store")
         with pytest.raises(StoreError, match="not an event store"):
             EventStore(tmp_path / "s.store")
+
+    def test_intern_origins_raises_when_table_full(self, tmp_path):
+        # One short of the table limit is fine; the next distinct label
+        # must raise a typed StoreError, not wrap into the uint16 space.
+        with StoreWriter(tmp_path / "s.store") as writer:
+            labels = [f"origin-{i}" for i in range(MAX_ORIGINS)]
+            codes = writer.intern_origins(labels)
+            assert codes.dtype == np.dtype("<u2")
+            assert int(codes[-1]) == MAX_ORIGINS - 1
+            with pytest.raises(StoreError, match="string table is full"):
+                writer.intern_origins(["one-label-too-many"])
+            writer.append_nodes([], [], [])
+
+    def test_append_arrays_rejects_uninterned_codes(self, tmp_path):
+        # Regression: the uint16 cast used to happen *before* the range
+        # check, so an out-of-range code wrapped modulo 2**16 into a
+        # valid-looking small code instead of raising.
+        with StoreWriter(tmp_path / "s.store") as writer:
+            writer.intern_origins(["xiaonei", "fivq"])
+            for bad in ([2], [1 << 16], [-1]):
+                with pytest.raises(StoreError, match="not interned"):
+                    writer.append_arrays(
+                        node_times=np.array([0.0]),
+                        node_ids=np.array([0]),
+                        node_origins=np.array(bad, dtype=np.int64),
+                    )
+            writer.append_nodes([], [], [])
+
+    def test_append_arrays_roundtrips_interned_codes(self, tmp_path):
+        with StoreWriter(tmp_path / "s.store") as writer:
+            codes = writer.intern_origins(["xiaonei", "fivq", "xiaonei"])
+            writer.append_arrays(
+                node_times=np.array([0.0, 1.0, 2.0]),
+                node_ids=np.array([0, 1, 2]),
+                node_origins=codes,
+            )
+        decoded = EventStore(tmp_path / "s.store").to_stream()
+        assert [n.origin for n in decoded.nodes] == ["xiaonei", "fivq", "xiaonei"]
 
     def test_chunk_files_are_exactly_sized(self, tmp_path, tiny_stream):
         manifest = write_store(tiny_stream, tmp_path / "s.store", chunk_events=100)
