@@ -15,6 +15,8 @@
     python -m repro metrics trace.tsv --trace run.trace.jsonl
     python -m repro trace summarize run.trace.jsonl
     python -m repro trace export run.trace.jsonl run.json
+    python -m repro serve trace.store --port 8787 --workers 4 --warm metrics
+    python -m repro loadgen --port 8787 --users 200 --duration 10
 
 Commands that read a trace (``info``, ``metrics``, ``communities``)
 accept either a TSV file or a columnar store directory and detect which
@@ -128,6 +130,59 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="recompute checksums and digests; exit 1 on corruption"
     )
     verify.add_argument("path", help="store directory")
+
+    serve = sub.add_parser(
+        "serve", help="serve store queries over HTTP from memory-mapped data"
+    )
+    serve.add_argument("store", help="event store directory (.store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="listen port (0 = kernel-assigned)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="shard worker processes; each memmaps the store and owns a "
+        "deterministic hash-shard of the cache",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk cache directory shared by the shards "
+        "(default: $REPRO_CACHE_DIR if set)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk caches even if --cache-dir/$REPRO_CACHE_DIR is set",
+    )
+    serve.add_argument(
+        "--warm", default="",
+        help="comma-separated caches to precompute before accepting requests "
+        "(metrics, communities)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request worker budget in seconds (overruns answer 504)",
+    )
+    _add_trace_arg(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running serve instance with seeded closed-loop users"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True, help="server port")
+    loadgen.add_argument("--users", type=int, default=100, help="concurrent simulated users")
+    loadgen.add_argument("--duration", type=float, default=10.0, help="run length (seconds)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--mix", choices=("mixed", "metrics", "scan"), default="mixed",
+        help="per-user request-mix profile",
+    )
+    loadgen.add_argument(
+        "--think", type=float, default=2.0, help="mean think time between requests (seconds)"
+    )
+    loadgen.add_argument(
+        "--out", default=None, help="write the JSON report to PATH (default: stdout)"
+    )
+    _add_trace_arg(loadgen)
 
     trace = sub.add_parser("trace", help="inspect or re-export a recorded execution trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -455,6 +510,72 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.server import run_server
+
+    cache_dir = _resolve_cache_dir(args)
+    warm = tuple(part for part in args.warm.split(",") if part)
+    try:
+        config = ServeConfig(
+            store_path=args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+            timeout=args.timeout,
+            warm=warm,
+            trace=args.trace_out is not None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _traced(args.trace_out):
+        try:
+            return asyncio.run(run_server(config))
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.loadgen import LoadConfig, run_loadgen
+
+    try:
+        config = LoadConfig(
+            host=args.host,
+            port=args.port,
+            users=args.users,
+            duration=args.duration,
+            seed=args.seed,
+            mix=args.mix,
+            think_mean=args.think,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _traced(args.trace_out):
+        report = run_loadgen(config)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"loadgen: wrote report to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    agg = report["aggregate"]
+    print(
+        f"loadgen: {agg['requests']} requests in {agg['elapsed_seconds']:.1f}s "
+        f"({agg['throughput_rps']:.1f} rps), p50 {agg['p50_ms']:.1f} ms / "
+        f"p99 {agg['p99_ms']:.1f} ms, {agg['responses_5xx']} 5xx",
+        file=sys.stderr,
+    )
+    return 1 if agg["responses_5xx"] else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_jsonl, render_trace, write_trace
 
@@ -483,6 +604,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "trace": _cmd_trace,
 }
 

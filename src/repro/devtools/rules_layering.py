@@ -8,7 +8,7 @@ fundamental)::
         → graph
           → metrics, edges, pa, community, osnmerge, gen, ml, store
             → runtime
-              → analysis
+              → analysis, serve
                 → cli
 
 An import must point from a higher (or equal) layer to a lower (or equal)
@@ -63,6 +63,7 @@ LAYERS: dict[str, int] = {
     "store": 3,
     "runtime": 4,
     "analysis": 5,
+    "serve": 5,
     "cli": 6,
     "__init__": 6,
     "__main__": 6,
@@ -200,7 +201,8 @@ class LayeringRule(ProjectRule):
     name = "layering"
     summary = (
         "import violates the layer contract util -> kernels -> graph -> "
-        "{metrics, edges, pa, community, osnmerge} -> runtime -> cli"
+        "{metrics, edges, pa, community, osnmerge} -> runtime -> "
+        "{analysis, serve} -> cli"
     )
 
     def check_project(

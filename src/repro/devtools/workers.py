@@ -49,6 +49,11 @@ WORKER_MANIFEST: dict[str, tuple[str, ...]] = {
     "repro.runtime.parallel._init_store_worker": ("str", "MetricSpec", "bool"),
     "repro.runtime.parallel._run_window": ("Window", "WindowResult"),
     "repro.runtime.parallel._run_store_window": ("StoreWindow", "WindowResult"),
+    # repro.serve shard workers: every request/response payload is a plain
+    # JSON string, the cheapest possible pickle.
+    "repro.serve.workers._init_serve_worker": ("str", "NoneType", "int", "bool"),
+    "repro.serve.workers._serve_request": ("str",),
+    "repro.serve.workers._drain_trace": ("bool", "str"),
 }
 
 #: Worker callables exempt from the manifest, with a written reason.

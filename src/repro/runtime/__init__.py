@@ -18,7 +18,7 @@ driver.  This subpackage makes the same computation scale:
 
 from repro.runtime.api import compute_timeseries
 from repro.runtime.cache import ResultCache, default_cache_dir, stream_digest
-from repro.runtime.parallel import evaluate_timeseries
+from repro.runtime.parallel import evaluate_timeseries, mp_context
 from repro.runtime.spec import STANDARD_METRIC_NAMES, MetricSpec, snapshot_times
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "compute_timeseries",
     "default_cache_dir",
     "evaluate_timeseries",
+    "mp_context",
     "snapshot_times",
     "stream_digest",
 ]

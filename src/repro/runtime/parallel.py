@@ -36,7 +36,7 @@ from repro.obs import (
 from repro.runtime.spec import DELTA_METRIC_NAMES, MetricSpec, snapshot_times
 from repro.store.reader import EventStore
 
-__all__ = ["evaluate_timeseries"]
+__all__ = ["evaluate_timeseries", "mp_context"]
 
 # One row per non-empty snapshot: (grid index, time, values in spec.names
 # order, per-metric wall-clock seconds in the same order).
@@ -267,6 +267,16 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     # to spawn where fork is unavailable.
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     return multiprocessing.get_context(method)
+
+
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The runtime's start-method policy, as a public seam.
+
+    Sibling subsystems that run their own pools (``repro.serve``'s shard
+    workers) call this instead of re-deciding fork-vs-spawn, so one
+    policy governs every pool in the tree.
+    """
+    return _mp_context()
 
 
 def evaluate_timeseries(

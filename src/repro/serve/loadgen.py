@@ -1,0 +1,279 @@
+"""A seeded closed-loop load generator for ``repro serve``.
+
+Models the paper's *consumers*: a population of simulated users issuing
+queries against the service over real sockets.  Each user is one asyncio
+task running a closed loop — think, request, wait for the full response,
+think again — so offered load self-regulates with service latency, the
+way trace-driven generators (Helix's ``TraceGenerator``, the faasm
+makespan traces) model request arrival.
+
+Think times are exponential (per-user Poisson arrivals) with a bursty
+modulation: during the burst window of each period every user's think
+time shrinks by ``burst_factor``, the synchronized activity bursts of
+"On the Bursty Evolution of Online Social Networks" (Gaito et al.).
+Every draw comes from ``default_rng((seed, user_id))``, so a load run's
+*request sequence* is reproducible even though its timings are not.
+
+The run report (written to ``BENCH_serve.json`` by the benchmark
+harness) carries per-endpoint and aggregate p50/p95/p99 latency,
+throughput, and 5xx counts — the numbers the CI bench-regression gate
+tracks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.obs import get_recorder, perf_counter
+from repro.serve.protocol import http_request, parse_response_head
+
+__all__ = ["LoadConfig", "PROFILES", "run_loadgen"]
+
+#: Request-mix profiles: name -> ((endpoint, weight), ...).  Weights are
+#: normalized at draw time, so they only need to be relative.
+PROFILES: dict[str, tuple[tuple[str, float], ...]] = {
+    "mixed": (
+        ("/metrics", 0.45),
+        ("/snapshot", 0.30),
+        ("/info", 0.15),
+        ("/communities", 0.05),
+        ("/health", 0.05),
+    ),
+    "metrics": (("/metrics", 0.90), ("/health", 0.10)),
+    "scan": (("/snapshot", 0.70), ("/info", 0.30)),
+}
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run: who talks to whom, how hard, for how long."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    users: int = 100
+    duration: float = 10.0
+    seed: int = 0
+    mix: str = "mixed"
+    think_mean: float = 2.0
+    burst_period: float = 10.0
+    burst_duty: float = 0.2
+    burst_factor: float = 4.0
+    timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mix not in PROFILES:
+            raise ValueError(f"unknown mix {self.mix!r}; expected {sorted(PROFILES)}")
+        if self.users < 1:
+            raise ValueError(f"users must be >= 1, got {self.users}")
+        if self.duration <= 0 or self.think_mean <= 0:
+            raise ValueError("duration and think_mean must be positive")
+
+
+def run_loadgen(config: LoadConfig) -> dict[str, Any]:
+    """Drive the server with ``config.users`` closed-loop users; report.
+
+    Raises the open-file soft limit toward the hard limit first — each
+    simulated user holds one keep-alive socket.
+    """
+    _raise_nofile_limit(config.users)
+    return asyncio.run(_run(config))
+
+
+def _raise_nofile_limit(users: int) -> None:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    need = users + 128
+    if soft >= need:
+        return
+    target = need if hard == resource.RLIM_INFINITY else min(need, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+    except (OSError, ValueError):  # pragma: no cover - locked-down rlimits
+        pass
+
+
+async def _run(config: LoadConfig) -> dict[str, Any]:
+    end_time = await _discover_end_time(config)
+    samples: list[tuple[str, int, float]] = []
+    errors: Counter[str] = Counter()
+    rec = get_recorder()
+    epoch = perf_counter()
+    with rec.span("loadgen.run", users=config.users, mix=config.mix):
+        tasks = [
+            asyncio.create_task(
+                _user(config, user_id, epoch, end_time, samples, errors)
+            )
+            for user_id in range(config.users)
+        ]
+        await asyncio.gather(*tasks)
+    elapsed = perf_counter() - epoch
+    return _report(config, samples, errors, elapsed)
+
+
+async def _discover_end_time(config: LoadConfig) -> float:
+    """One ``/info`` round-trip: the trace span bounds /snapshot targets."""
+    import json
+
+    reader, writer = await asyncio.open_connection(config.host, config.port)
+    try:
+        writer.write(http_request("/info", config.host))
+        await writer.drain()
+        status, body = await asyncio.wait_for(_read_response(reader), config.timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+    if status != 200:
+        raise RuntimeError(f"server /info answered {status}: {body.decode()!r}")
+    return float(json.loads(body)["end_time"])
+
+
+async def _user(
+    config: LoadConfig,
+    user_id: int,
+    epoch: float,
+    end_time: float,
+    samples: list[tuple[str, int, float]],
+    errors: Counter[str],
+) -> None:
+    """One simulated user: a closed loop on one keep-alive connection."""
+    rng = np.random.default_rng((config.seed, user_id))
+    deadline = epoch + config.duration
+    # Stagger arrivals over one mean think time so the population does
+    # not start phase-locked.
+    await asyncio.sleep(float(rng.uniform(0.0, config.think_mean)))
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    while perf_counter() < deadline:
+        if writer is None:
+            try:
+                reader, writer = await asyncio.open_connection(config.host, config.port)
+            except OSError:
+                errors["connect"] += 1
+                await asyncio.sleep(0.05)
+                continue
+        target = _pick_target(rng, config, end_time)
+        endpoint = target.partition("?")[0]
+        began = perf_counter()
+        try:
+            writer.write(http_request(target, config.host))
+            await writer.drain()
+            assert reader is not None
+            status, _body = await asyncio.wait_for(
+                _read_response(reader), config.timeout
+            )
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+            errors["transport"] += 1
+            writer.close()
+            reader = writer = None
+            continue
+        samples.append((endpoint, status, perf_counter() - began))
+        think = float(rng.exponential(config.think_mean))
+        if _in_burst(perf_counter() - epoch, config):
+            think /= config.burst_factor
+        await asyncio.sleep(min(think, max(0.0, deadline - perf_counter())))
+    if writer is not None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+
+
+def _pick_target(
+    rng: np.random.Generator, config: LoadConfig, end_time: float
+) -> str:
+    """Draw the next request target from the user's mix profile."""
+    profile = PROFILES[config.mix]
+    total = sum(weight for _, weight in profile)
+    draw = float(rng.uniform(0.0, total))
+    endpoint = profile[-1][0]
+    for name, weight in profile:
+        if draw < weight:
+            endpoint = name
+            break
+        draw -= weight
+    if endpoint == "/snapshot":
+        # Two-decimal rounding bounds the distinct-query cardinality so
+        # the worker-side memo stays effective under long runs.
+        t = round(float(rng.uniform(0.0, end_time)), 2)
+        return f"/snapshot?t={t:g}"
+    return endpoint
+
+
+def _in_burst(elapsed: float, config: LoadConfig) -> bool:
+    """Whether ``elapsed`` falls in the burst window of its period."""
+    if config.burst_factor <= 1.0 or config.burst_period <= 0:
+        return False
+    phase = elapsed % config.burst_period
+    return phase >= config.burst_period * (1.0 - config.burst_duty)
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one framed response; ``(status, body)``."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    status, headers = parse_response_head(head)
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+# -- reporting --------------------------------------------------------------
+
+
+def _percentiles(latencies_s: list[float]) -> dict[str, float]:
+    if not latencies_s:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0}
+    arr = np.asarray(latencies_s, dtype=np.float64) * 1000.0
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {
+        "p50_ms": float(p50),
+        "p95_ms": float(p95),
+        "p99_ms": float(p99),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+
+
+def _report(
+    config: LoadConfig,
+    samples: list[tuple[str, int, float]],
+    errors: Counter[str],
+    elapsed: float,
+) -> dict[str, Any]:
+    """The run report: aggregate + per-endpoint latency and error counts."""
+    by_endpoint: dict[str, list[tuple[int, float]]] = {}
+    for endpoint, status, latency in samples:
+        by_endpoint.setdefault(endpoint, []).append((status, latency))
+    endpoints = {
+        endpoint: {
+            "requests": len(rows),
+            "responses_5xx": sum(1 for status, _ in rows if status >= 500),
+            **_percentiles([latency for _, latency in rows]),
+        }
+        for endpoint, rows in sorted(by_endpoint.items())
+    }
+    aggregate = {
+        "requests": len(samples),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": len(samples) / elapsed if elapsed > 0 else 0.0,
+        "responses_5xx": sum(1 for _, status, _ in samples if status >= 500),
+        "transport_errors": sum(errors.values()),
+        **_percentiles([latency for _, _, latency in samples]),
+    }
+    return {
+        "config": asdict(config),
+        "aggregate": aggregate,
+        "endpoints": endpoints,
+        "errors": dict(sorted(errors.items())),
+    }

@@ -1,0 +1,353 @@
+"""The asyncio front process of ``repro serve``.
+
+One event loop accepts HTTP/1.1 keep-alive connections, parses and
+validates requests (:func:`repro.serve.protocol.parse_query`), and routes
+each data query to a deterministic hash-shard: ``workers`` single-worker
+process pools, each initialized by
+:func:`repro.serve.workers._init_serve_worker` to memory-map the store
+and own its slice of the caches.  Identical queries always land on the
+same shard, so concurrent repeats of a cold query serialize through one
+process and compute once.
+
+Operational contract:
+
+* **timeouts** — every worker round-trip is bounded by
+  ``ServeConfig.timeout``; an overrun answers 504 with a typed error
+  envelope (the worker finishes in the background and warms the caches
+  for the next attempt);
+* **graceful drain** — :meth:`ReproServer.stop` stops accepting, lets
+  in-flight requests finish (bounded by ``drain_timeout``), collects
+  worker trace shards, then shuts the pools down;
+* **observability** — per-request spans and counters on the installed
+  :mod:`repro.obs` recorder: ``serve.requests.<endpoint>``,
+  ``serve.cache.<endpoint>.<hit|miss|memo>``, a ``serve.queue_depth``
+  peak gauge, and one obs lane per shard when tracing;
+* **determinism** — response bodies contain no timestamps, worker
+  identities, or counters, so a given store + query answers with the
+  same bytes at any ``--workers`` setting (``/stats`` is the deliberate
+  exception: it reports this process's live counters).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.obs import TraceRecorder, get_recorder, peak_rss_bytes, perf_counter
+from repro.runtime import mp_context
+from repro.serve.protocol import (
+    Query,
+    QueryError,
+    canonical_key,
+    dumps,
+    error_body,
+    http_response,
+    parse_query,
+    parse_request_head,
+    shard_for,
+)
+from repro.serve.workers import _drain_trace, _serve_request, make_shard_pool
+from repro.store.reader import EventStore
+
+__all__ = ["ReproServer", "ServeConfig", "run_server"]
+
+#: ``--warm`` target -> the endpoint whose default query gets precomputed.
+WARM_TARGETS = {"metrics": "/metrics", "communities": "/communities"}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the server needs; validated at construction."""
+
+    store_path: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    cache_dir: str | None = None
+    timeout: float = 30.0
+    warm: tuple[str, ...] = ()
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        unknown = sorted(set(self.warm) - set(WARM_TARGETS))
+        if unknown:
+            raise ValueError(
+                f"unknown warm target(s) {unknown}; expected {sorted(WARM_TARGETS)}"
+            )
+        if not EventStore.is_store(self.store_path):
+            raise ValueError(f"{self.store_path!r} is not an event store directory")
+
+
+class ReproServer:
+    """The serve front: owns the listener, the shard pools, the counters."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.host = config.host
+        self.port = config.port
+        self.warm_seconds = 0.0
+        self.requests: Counter[str] = Counter()
+        self.statuses: Counter[int] = Counter()
+        self.cache_events: Counter[str] = Counter()
+        self._pools: list[ProcessPoolExecutor] = []
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._accepting = False
+        self._epoch = perf_counter()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Spin up shard pools, warm caches, bind the listener.
+
+        Returns the bound ``(host, port)`` — with ``port=0`` the kernel
+        picks a free one, so tests and benchmarks never collide.
+        """
+        context = mp_context()
+        for shard in range(self.config.workers):
+            self._pools.append(
+                make_shard_pool(
+                    self.config.store_path,
+                    self.config.cache_dir,
+                    shard,
+                    self.config.trace,
+                    context,
+                )
+            )
+        # Force every shard to spawn its worker process NOW, before the
+        # listener opens: ProcessPoolExecutor forks lazily on first
+        # submit, and a fork after accept() duplicates the live client
+        # connection fd into the worker — which then holds it open for
+        # its lifetime, so a server-initiated close never reaches that
+        # client as EOF.  (_drain_trace is a no-op ping when not tracing.)
+        await asyncio.gather(
+            *(
+                asyncio.wrap_future(pool.submit(_drain_trace, False))
+                for pool in self._pools
+            )
+        )
+        if self.config.warm:
+            await self._warm()
+        self._accepting = True
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, drain, collect, tear down."""
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = perf_counter() + drain_timeout
+        while self._inflight and perf_counter() < deadline:
+            await asyncio.sleep(0.02)
+        # Close idle keep-alive connections so their handler tasks exit
+        # through the normal EOF path instead of being cancelled at loop
+        # teardown.
+        for writer in list(self._connections):
+            writer.close()
+        while self._connections and perf_counter() < deadline + 1.0:
+            await asyncio.sleep(0.02)
+        self._collect_traces()
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pools.clear()
+
+    async def _warm(self) -> None:
+        """Precompute the default query per warm target through the shards.
+
+        Warming routes each default query through its own shard exactly
+        like a client request would, so the result cache
+        (:func:`repro.runtime.compute_timeseries` under ``/metrics``) and
+        the serve cache (``/communities``) are populated before the
+        listener opens and the first real request is already a hit.
+        """
+        rec = get_recorder()
+        began = perf_counter()
+        targets = ",".join(self.config.warm)
+        with rec.span("serve.warm", targets=targets):
+            for target in self.config.warm:
+                query = parse_query(WARM_TARGETS[target])
+                status, _cache, body = await self._dispatch(query)
+                if status != 200:
+                    raise RuntimeError(f"warm {target!r} failed ({status}): {body}")
+        self.warm_seconds = perf_counter() - began
+        print(
+            f"serve: warmed {targets} in {self.warm_seconds:.2f}s", file=sys.stderr
+        )
+
+    def _collect_traces(self) -> None:
+        """Attach each shard's obs lane to the front recorder (if tracing)."""
+        rec = get_recorder()
+        if not (self.config.trace and isinstance(rec, TraceRecorder)):
+            return
+        for pool in self._pools:
+            try:
+                text = pool.submit(_drain_trace, True).result(timeout=5.0)
+            except Exception:  # a dead shard loses only its trace lane
+                continue
+            shard = json.loads(text)
+            if shard is not None:
+                rec.attach_shard(shard)
+
+    # -- request path --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        rec = get_recorder()
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    break
+                except asyncio.LimitOverrunError:
+                    body = error_body(400, "bad-request", "request head too large")
+                    writer.write(http_response(400, body, keep_alive=False))
+                    await writer.drain()
+                    break
+                if not self._accepting:
+                    body = error_body(503, "unavailable", "server is shutting down")
+                    writer.write(http_response(503, body, keep_alive=False))
+                    await writer.drain()
+                    break
+                self._inflight += 1
+                if rec.enabled:
+                    rec.gauge("serve.queue_depth", self._inflight)
+                try:
+                    status, body, close = await self._respond(head)
+                finally:
+                    self._inflight -= 1
+                self.statuses[status] += 1
+                writer.write(http_response(status, body, keep_alive=not close))
+                await writer.drain()
+                if close:
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, head: bytes) -> tuple[int, str, bool]:
+        """``(status, body, close_connection)`` for one raw request head."""
+        rec = get_recorder()
+        # Until the head parses we cannot trust the framing, so default
+        # to closing; once headers are in hand, honor the client's
+        # Connection preference on error responses too.
+        close = True
+        try:
+            method, target, headers = parse_request_head(head)
+            close = headers.get("connection", "").lower() == "close"
+            if method != "GET":
+                raise QueryError(
+                    405, "bad-request", f"method {method!r} not allowed (GET only)"
+                )
+            query = parse_query(target)
+        except QueryError as exc:
+            self.requests["invalid"] += 1
+            if rec.enabled:
+                rec.count("serve.requests.invalid", 1)
+            return exc.status, error_body(exc.status, exc.code, exc.message), close
+        endpoint = query.endpoint
+        self.requests[endpoint] += 1
+        if rec.enabled:
+            rec.count(f"serve.requests.{endpoint}", 1)
+        if endpoint == "/health":
+            return 200, dumps({"status": "ok"}), close
+        if endpoint == "/stats":
+            return 200, self._stats_body(), close
+        with rec.span("serve.request", endpoint=endpoint):
+            status, cache, body = await self._dispatch(query)
+        self.cache_events[f"{endpoint}:{cache}"] += 1
+        if rec.enabled and cache != "none":
+            rec.count(f"serve.cache.{endpoint}.{cache}", 1)
+        return status, body, close
+
+    async def _dispatch(self, query: Query) -> tuple[int, str, str]:
+        """Route ``query`` to its shard; ``(status, cache, body)``.
+
+        Worker failures never propagate: a timeout answers 504 and a
+        broken pool answers 503, both as typed envelopes.
+        """
+        key = canonical_key(query)
+        pool = self._pools[shard_for(key, len(self._pools))]
+        future = pool.submit(_serve_request, key)
+        try:
+            text = await asyncio.wait_for(
+                asyncio.wrap_future(future), self.config.timeout
+            )
+        except asyncio.TimeoutError:
+            message = f"query exceeded the {self.config.timeout:g}s budget"
+            return 504, "none", error_body(504, "timeout", message)
+        except Exception as exc:  # BrokenProcessPool and kin
+            message = f"{type(exc).__name__}: {exc}"
+            return 503, "none", error_body(503, "unavailable", message)
+        response = json.loads(text)
+        return int(response["status"]), str(response["cache"]), str(response["body"])
+
+    def _stats_body(self) -> str:
+        return dumps(
+            {
+                "workers": self.config.workers,
+                "inflight": self._inflight,
+                "uptime_seconds": perf_counter() - self._epoch,
+                "warm_seconds": self.warm_seconds,
+                "requests": dict(self.requests),
+                "statuses": {str(k): v for k, v in self.statuses.items()},
+                "cache": dict(self.cache_events),
+            }
+        )
+
+
+async def run_server(config: ServeConfig) -> int:
+    """Start a server and run it until SIGINT/SIGTERM; the CLI entry.
+
+    Prints the readiness line (``serve: listening on HOST:PORT``) to
+    stdout once the listener is bound, which is what the load generator
+    and CI smoke step wait for.
+    """
+    server = ReproServer(config)
+    host, port = await server.start()
+    print(
+        f"serve: listening on {host}:{port} "
+        f"({config.workers} shard worker(s), store {config.store_path})",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            signal.signal(signum, lambda *_: stop.set())
+    await stop.wait()
+    print("serve: draining in-flight requests", file=sys.stderr)
+    rec = get_recorder()
+    if rec.enabled:
+        rec.gauge("worker.peak_rss_bytes", peak_rss_bytes())
+    await server.stop()
+    return 0

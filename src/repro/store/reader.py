@@ -10,6 +10,20 @@ a scan actually needs.
 Time-range scans use the manifest's per-chunk ``[t_min, t_max]`` index to
 pick the overlapping chunks, then ``np.searchsorted`` inside the boundary
 chunks; a window scan therefore reads O(answer) bytes, not O(store).
+
+Long-lived processes (``repro serve`` workers, pool initializers) reopen
+the same store many times; two features keep reopen cheap without giving
+up integrity:
+
+* parsed manifests are cached process-wide, keyed by the manifest file's
+  identity (path + size + mtime), so a reopen skips the JSON parse and
+  its structural validation — rewriting the manifest invalidates the
+  entry automatically;
+* checksum verification is governed by ``verify=``: ``"lazy"`` (the
+  default) re-hashes each chunk file the first time it is mapped, so a
+  bit-flipped chunk raises :class:`StoreError` on first *read* rather
+  than passing silently, while chunks a scan never touches cost nothing;
+  ``"eager"`` verifies every chunk checksum at open.
 """
 
 from __future__ import annotations
@@ -40,21 +54,57 @@ from repro.util.arrays import AnyArray, FloatArray, IntArray, UInt16Array
 __all__ = ["EventStore"]
 
 
+#: Process-wide cache of parsed manifests, keyed by the manifest file's
+#: identity (resolved path, size, mtime_ns).  A rewritten manifest gets a
+#: new stat signature and therefore a fresh parse; entries are immutable
+#: (frozen dataclasses), so sharing one across EventStore instances is
+#: safe.  Bounded: the whole cache is dropped past _MANIFEST_CACHE_LIMIT
+#: entries — simple, and reopening is what the cache optimizes anyway.
+_MANIFEST_CACHE: dict[tuple[str, int, int], Manifest] = {}
+_MANIFEST_CACHE_LIMIT = 64
+
+
+def _load_manifest(manifest_path: Path) -> Manifest:
+    try:
+        stat = manifest_path.stat()
+    except OSError as exc:
+        raise StoreError(f"cannot read {manifest_path}: {exc}") from exc
+    key = (str(manifest_path.resolve()), stat.st_size, stat.st_mtime_ns)
+    cached = _MANIFEST_CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        text = manifest_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StoreError(f"cannot read {manifest_path}: {exc}") from exc
+    manifest = Manifest.from_json(text, source=str(manifest_path))
+    if len(_MANIFEST_CACHE) >= _MANIFEST_CACHE_LIMIT:
+        _MANIFEST_CACHE.clear()
+    _MANIFEST_CACHE[key] = manifest
+    return manifest
+
+
 class _ChunkIndex:
     """Chunk lookup structures for one event kind."""
 
     def __init__(
-        self, root: Path, chunks: tuple[ChunkMeta, ...], columns: Sequence[tuple[str, str]]
+        self,
+        root: Path,
+        chunks: tuple[ChunkMeta, ...],
+        columns: Sequence[tuple[str, str]],
+        verify_on_map: bool = False,
     ) -> None:
         self.root = root
         self.chunks = chunks
         self.columns = columns
+        self.verify_on_map = verify_on_map
         self.offsets = [0]
         for chunk in chunks:
             self.offsets.append(self.offsets[-1] + chunk.count)
         self.t_min = [chunk.t_min for chunk in chunks]
         self.t_max = [chunk.t_max for chunk in chunks]
         self._maps: dict[int, dict[str, AnyArray]] = {}
+        self._verified: set[int] = set()
 
     @property
     def total(self) -> int:
@@ -79,6 +129,8 @@ class _ChunkIndex:
     def map(self, index: int) -> dict[str, AnyArray]:
         cols = self._maps.get(index)
         if cols is None:
+            if self.verify_on_map and index not in self._verified:
+                self.checksum_chunk(index)
             cols = map_chunk(self.root, self.chunks[index], self.columns)
             self._maps[index] = cols
             rec = get_recorder()
@@ -89,6 +141,18 @@ class _ChunkIndex:
                     chunk_nbytes(self.columns, self.chunks[index].count),
                 )
         return cols
+
+    def checksum_chunk(self, index: int) -> None:
+        """Re-hash chunk ``index``; :class:`StoreError` on a mismatch."""
+        chunk = self.chunks[index]
+        digest = _sha256_file(self.root / chunk.file)
+        if digest != chunk.sha256:
+            raise StoreError(
+                f"checksum mismatch in chunk {chunk.file}: manifest says "
+                f"{chunk.sha256[:12]}…, file hashes to {digest[:12]}…",
+                chunk=chunk.file,
+            )
+        self._verified.add(index)
 
     def column(self, name: str) -> AnyArray:
         """One column concatenated across all chunks (copies)."""
@@ -150,13 +214,7 @@ class _ChunkIndex:
     def verify_chunks(self) -> None:
         """Recompute checksums and re-derive per-chunk time metadata."""
         for index, chunk in enumerate(self.chunks):
-            digest = _sha256_file(self.root / chunk.file)
-            if digest != chunk.sha256:
-                raise StoreError(
-                    f"checksum mismatch in chunk {chunk.file}: manifest says "
-                    f"{chunk.sha256[:12]}…, file hashes to {digest[:12]}…",
-                    chunk=chunk.file,
-                )
+            self.checksum_chunk(index)
             if chunk.count:
                 times = self.map(index)["time"]
                 if np.any(np.diff(times) < 0):
@@ -180,23 +238,42 @@ def _sha256_file(path: Path) -> str:
     return h.hexdigest()
 
 
-class EventStore:
-    """A read-only, memory-mapped view of a columnar event store."""
+#: Recognized values of :class:`EventStore`'s ``verify`` parameter.
+VERIFY_MODES = ("lazy", "eager")
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+
+class EventStore:
+    """A read-only, memory-mapped view of a columnar event store.
+
+    ``verify`` controls checksum verification: ``"lazy"`` (default)
+    re-hashes each chunk the first time a scan maps it, so corruption is
+    caught on first read at O(touched chunks) cost; ``"eager"`` hashes
+    every chunk up front, so a successfully opened store is known-good.
+    Structural validation (manifest shape, chunk existence and exact
+    sizes) always happens at open, under either mode.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], verify: str = "lazy") -> None:
+        if verify not in VERIFY_MODES:
+            raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
         self.path = Path(path)
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.is_file():
             raise StoreError(f"{self.path} is not an event store (no {MANIFEST_NAME})")
-        try:
-            text = manifest_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise StoreError(f"cannot read {manifest_path}: {exc}") from exc
-        self.manifest = Manifest.from_json(text, source=str(manifest_path))
-        self._nodes = _ChunkIndex(self.path, self.manifest.node_chunks, NODE_COLUMNS)
-        self._edges = _ChunkIndex(self.path, self.manifest.edge_chunks, EDGE_COLUMNS)
+        self.manifest = _load_manifest(manifest_path)
+        lazy = verify == "lazy"
+        self._nodes = _ChunkIndex(
+            self.path, self.manifest.node_chunks, NODE_COLUMNS, verify_on_map=lazy
+        )
+        self._edges = _ChunkIndex(
+            self.path, self.manifest.edge_chunks, EDGE_COLUMNS, verify_on_map=lazy
+        )
         self._nodes.validate_files()
         self._edges.validate_files()
+        if verify == "eager":
+            for index_obj in (self._nodes, self._edges):
+                for i in range(len(index_obj.chunks)):
+                    index_obj.checksum_chunk(i)
 
     @staticmethod
     def is_store(path: str | os.PathLike[str]) -> bool:

@@ -622,6 +622,32 @@ class TestBlockingAsyncRule:
         result = lint_tree(tmp_path, {"runtime/good.py": src}, [BlockingAsyncRule()])
         assert codes(result) == []
 
+    def test_report_write_inside_async_driver_flagged(self, tmp_path):
+        # The violation shape hit while building repro.serve.loadgen:
+        # dumping the run report with builtin open() inside the async
+        # driver.  The rule flagging exactly this is why report writing
+        # lives in the sync CLI command (_cmd_loadgen), not in _run().
+        src = (
+            "import json\n"
+            "async def _run(config):\n"
+            "    report = {'aggregate': {}}\n"
+            "    with open('BENCH_serve.json', 'w') as fh:\n"
+            "        json.dump(report, fh)\n"
+            "    return report\n"
+        )
+        result = lint_tree(tmp_path, {"serve/loadgen.py": src}, [BlockingAsyncRule()])
+        assert codes(result) == ["RPL033"]
+
+    def test_shipped_serve_async_code_clean(self):
+        # repro.serve is the largest body of async code in the tree; it
+        # must stay RPL033-clean as shipped.
+        root = REPO_ROOT / "src" / "repro"
+        files = sorted((root / "serve").glob("*.py"))
+        assert files, "repro.serve sources not found"
+        modules = discover_modules(root, files=files)
+        result = run_rules(modules, [BlockingAsyncRule()])
+        assert codes(result) == []
+
 
 class TestSuppressions:
     def test_justified_suppression_suppresses(self, tmp_path):
@@ -700,6 +726,25 @@ class TestLayeringRule:
         assert codes(result) == ["RPL010"]
         (finding,) = [d for d in result.diagnostics if d.status == "error"]
         assert "undeclared deferred" in finding.message
+
+    def test_serve_sits_with_analysis_below_cli(self):
+        from repro.devtools.rules_layering import LAYERS
+
+        assert LAYERS["serve"] == LAYERS["analysis"]
+        assert LAYERS["runtime"] < LAYERS["serve"] < LAYERS["cli"]
+
+    def test_serve_importing_cli_rejected(self, tmp_path):
+        result = lint_tree(
+            tmp_path,
+            {
+                "serve/server.py": "from cli import main\n",
+                "cli/__init__.py": "main = 1\n",
+            },
+            [LayeringRule()],
+        )
+        assert codes(result) == ["RPL010"]
+        (finding,) = [d for d in result.diagnostics if d.status == "error"]
+        assert "'serve'" in finding.message and "'cli'" in finding.message
 
     def test_declared_deferred_seam_allowed(self, tmp_path):
         # (kernels, graph) is a declared seam in DEFERRED_EDGES.

@@ -469,6 +469,73 @@ class TestCorruption:
         assert not EventStore.is_store(tmp_path / "missing")
 
 
+class TestVerifyModes:
+    """The ``verify="eager"|"lazy"`` contract of :class:`EventStore`."""
+
+    def _flip_bit(self, path):
+        chunk = path / "node-000000.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[16] ^= 0x01  # same-size corruption: open's stat checks pass
+        chunk.write_bytes(bytes(blob))
+
+    def test_lazy_open_succeeds_but_first_read_catches_corruption(self, stored):
+        path, _ = stored
+        self._flip_bit(path)
+        store = EventStore(path)  # lazy is the default: open is stat-only
+        with pytest.raises(StoreError, match="checksum mismatch") as err:
+            store.node_arrays()
+        assert err.value.chunk == "node-000000.bin"
+
+    def test_lazy_window_scan_catches_corruption_on_first_touch(self, stored):
+        path, _ = stored
+        self._flip_bit(path)
+        store = EventStore(path, verify="lazy")
+        with pytest.raises(StoreError, match="checksum mismatch"):
+            store.nodes_in(0.0, 10.0)
+
+    def test_eager_open_catches_corruption_immediately(self, stored):
+        path, _ = stored
+        self._flip_bit(path)
+        with pytest.raises(StoreError, match="checksum mismatch"):
+            EventStore(path, verify="eager")
+
+    def test_lazy_untouched_chunks_are_never_hashed(self, stored):
+        # Corrupt a *late* node chunk, then scan only the first chunk's
+        # window: lazy mode must not pay for (or trip over) chunks the
+        # scan never maps.
+        path, stream = stored
+        chunk = path / "node-000001.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[0] ^= 0x01
+        chunk.write_bytes(bytes(blob))
+        store = EventStore(path, verify="lazy")
+        times, nodes, _ = store.nodes_in(0.0, 0.5)  # chunk 0 only (2 events/chunk)
+        assert nodes.tolist() == [0, 1]
+        with pytest.raises(StoreError, match="node-000001.bin"):
+            store.node_arrays()
+
+    def test_verify_mode_value_checked(self, stored):
+        path, _ = stored
+        with pytest.raises(ValueError, match="verify must be one of"):
+            EventStore(path, verify="sometimes")
+
+    def test_manifest_cache_shares_parse_and_invalidates_on_rewrite(self, stored):
+        from repro.store import reader
+
+        path, _ = stored
+        reader._MANIFEST_CACHE.clear()
+        first = EventStore(path)
+        second = EventStore(path)
+        assert first.manifest is second.manifest  # one parse, shared object
+        # Rewriting the manifest changes its stat signature -> fresh parse.
+        manifest_path = path / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        manifest_path.write_text(json.dumps(payload, indent=4))
+        reopened = EventStore(path)
+        assert reopened.manifest is not first.manifest
+        assert reopened.manifest.content_digest == first.manifest.content_digest
+
+
 class TestManifest:
     def test_json_roundtrip(self, tmp_path, tiny_stream):
         written = write_store(tiny_stream, tmp_path / "s.store", chunk_events=200)
