@@ -15,7 +15,9 @@ workload twice varies by far more than the overhead being measured:
    ``hits x per_site / workload_seconds <= 2%``.
 
 The harness also asserts the tracing-parity contract — a fully traced
-run must produce bit-identical metric values.
+run must produce bit-identical metric values — and gates the *enabled*
+``observe()`` hot loop (the per-request streaming-histogram ingest the
+serve layer pays) under :data:`OBSERVE_BUDGET_NS`.
 
 Two entry points:
 
@@ -40,6 +42,10 @@ from repro.obs import NULL_RECORDER, Recorder, TraceRecorder, use_recorder, writ
 from repro.runtime import MetricSpec, compute_timeseries
 
 MAX_OVERHEAD = 0.02  # disabled-path budget: <= 2% of workload wall time
+#: Enabled-path budget for ``Recorder.observe`` (histogram ingest): the
+#: serve hot path calls it once per request, so one observation must stay
+#: cheap — a bucket-index bisect plus a handful of attribute updates.
+OBSERVE_BUDGET_NS = 3000.0
 
 
 class _CountingRecorder(Recorder):
@@ -67,6 +73,9 @@ class _CountingRecorder(Recorder):
     def gauge(self, name: str, value: float) -> None:
         self.hits += 1
 
+    def observe(self, name: str, value: float) -> None:
+        self.hits += 1
+
 
 def _null_site_cost_s(iters: int = 200_000) -> float:
     """Measured wall seconds per disabled instrumentation site.
@@ -81,6 +90,24 @@ def _null_site_cost_s(iters: int = 200_000) -> float:
         with get_recorder().span("bench.site", snapshot=0):
             pass
     return (time.perf_counter() - began) / iters
+
+
+def _observe_cost_ns(iters: int = 200_000) -> float:
+    """Measured wall nanoseconds per *enabled* ``observe()`` call.
+
+    This is the streaming-histogram ingest the serve hot path pays once
+    per request: one bucket bisect over the precomputed bound table plus
+    the exact count/sum/min/max sidecar updates.  The values sweep five
+    decades so every call takes the general bisect path, not a
+    single-bucket fast case.
+    """
+    recorder = TraceRecorder(lane=0, label="bench")
+    values = [10.0 ** (-4.0 + 5.0 * (i % 97) / 96.0) for i in range(97)]
+    observe = recorder.observe
+    began = time.perf_counter()
+    for i in range(iters):
+        observe("bench.latency", values[i % 97])
+    return (time.perf_counter() - began) / iters * 1e9
 
 
 _PRESETS = {
@@ -119,6 +146,9 @@ def run_bench(quick: bool = False, seed: int = 7, preset: str | None = None) -> 
     per_site_s = _null_site_cost_s()
     overhead_fraction = hits * per_site_s / workload_s if workload_s > 0 else 0.0
 
+    # 4. Enabled-path histogram ingest: one observe() per serve request.
+    observe_ns = _observe_cost_ns()
+
     # Parity: a fully traced run must not change a single value.
     recorder = TraceRecorder(lane=0, label="main")
     with use_recorder(recorder):
@@ -137,6 +167,8 @@ def run_bench(quick: bool = False, seed: int = 7, preset: str | None = None) -> 
         "per_site_ns": per_site_s * 1e9,
         "overhead_fraction": overhead_fraction,
         "max_overhead": MAX_OVERHEAD,
+        "observe_ns_per_call": observe_ns,
+        "observe_budget_ns": OBSERVE_BUDGET_NS,
         "values_identical": values_identical,
         "traced_spans": sum(len(lane["spans"]) for lane in payload["lanes"]),
         "_trace_payload": payload,  # stripped before JSON output
@@ -156,6 +188,10 @@ def print_report(report: dict) -> None:
         f"(budget {100.0 * report['max_overhead']:.1f}%)"
     )
     print(
+        f"[obs] enabled observe(): {report['observe_ns_per_call']:.0f}ns/call "
+        f"(budget {report['observe_budget_ns']:.0f}ns)"
+    )
+    print(
         f"[obs] traced run: {report['traced_spans']} spans, values identical: "
         f"{report['values_identical']}"
     )
@@ -168,6 +204,7 @@ def test_obs_disabled_overhead():
     print_report(report)
     assert report["values_identical"]
     assert report["overhead_fraction"] <= MAX_OVERHEAD
+    assert report["observe_ns_per_call"] <= OBSERVE_BUDGET_NS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -203,6 +240,12 @@ def main(argv: list[str] | None = None) -> int:
             f"[obs] FAIL: disabled-path overhead "
             f"{100.0 * report['overhead_fraction']:.3f}% exceeds the "
             f"{100.0 * MAX_OVERHEAD:.1f}% budget"
+        )
+        return 1
+    if report["observe_ns_per_call"] > OBSERVE_BUDGET_NS:
+        print(
+            f"[obs] FAIL: enabled observe() {report['observe_ns_per_call']:.0f}ns/call "
+            f"exceeds the {OBSERVE_BUDGET_NS:.0f}ns budget"
         )
         return 1
     return 0

@@ -18,9 +18,13 @@ Two entry points:
 
 * ``pytest benchmarks/test_serve.py`` — the default-scale gate:
   presets.small store, 1000 concurrent users;
-* ``python benchmarks/test_serve.py [--quick] [--out BENCH_serve.json]``
-  — the CI smoke harness: ``--quick`` serves a tiny store to 100 users
-  for a few seconds and fails (exit 1) on any 5xx.
+* ``python benchmarks/test_serve.py [--quick] [--out BENCH_serve.json]
+  [--telemetry-out serve-telemetry.prom]`` — the CI smoke harness:
+  ``--quick`` serves a tiny store to 100 users for a few seconds and
+  fails (exit 1) on any 5xx.  Before shutdown the harness scrapes
+  ``/telemetry``: the JSON twin lands in the report (the bench gate
+  tracks ``aggregate.telemetry_metrics_p99_ms``), the Prometheus text
+  becomes the CI artifact via ``--telemetry-out``.
 """
 
 from __future__ import annotations
@@ -187,8 +191,22 @@ def run_bench(
                     think_mean=think_mean,
                 )
             )
+
+            # Scrape live telemetry while the server is still up: the JSON
+            # twin feeds the report (and the bench gate), the Prometheus
+            # text becomes the CI artifact via --telemetry-out.
+            telemetry_status, telemetry_body = server.fetch("/telemetry?format=json")
+            assert telemetry_status == 200, f"/telemetry answered {telemetry_status}"
+            telemetry = json.loads(telemetry_body)
+            prom_status, prom_body = server.fetch("/telemetry")
+            assert prom_status == 200, f"/telemetry (prom) answered {prom_status}"
         finally:
             server.stop()
+
+    metrics_latency = telemetry.get("endpoints", {}).get("/metrics", {}).get("latency")
+    telemetry_p99_ms = (
+        1000.0 * metrics_latency["p99"] if metrics_latency else 0.0
+    )
 
     return {
         "preset": preset,
@@ -206,8 +224,11 @@ def run_bench(
             "throughput_rps": load["aggregate"]["throughput_rps"],
             "responses_5xx": load["aggregate"]["responses_5xx"],
             "transport_errors": load["aggregate"]["transport_errors"],
+            "telemetry_metrics_p99_ms": telemetry_p99_ms,
         },
         "loadgen": load,
+        "telemetry": telemetry,
+        "_telemetry_prom": prom_body.decode("utf-8"),  # stripped before JSON output
     }
 
 
@@ -237,6 +258,11 @@ def print_report(report: dict) -> None:
             f"[serve]   {endpoint:<16}{row['requests']:>7} reqs  "
             f"p50 {row['p50_ms']:>7.1f}ms  p99 {row['p99_ms']:>7.1f}ms"
         )
+    telemetry = report.get("telemetry", {})
+    print(
+        f"[serve] telemetry: {sum(telemetry.get('requests', {}).values())} requests seen, "
+        f"server-side /metrics p99 {agg['telemetry_metrics_p99_ms']:.1f}ms"
+    )
 
 
 def _gate(report: dict, quick: bool) -> list[str]:
@@ -276,11 +302,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--workers", type=int, default=2, help="server shard workers")
     parser.add_argument("--out", default=None, help="write the report as JSON to this path")
+    parser.add_argument(
+        "--telemetry-out", default=None,
+        help="write the end-of-run /telemetry Prometheus snapshot to this path",
+    )
     args = parser.parse_args(argv)
     report = run_bench(
         quick=args.quick, users=args.users, duration=args.duration, workers=args.workers
     )
+    prom_text = report.pop("_telemetry_prom")
     print_report(report)
+    if args.telemetry_out:
+        with open(args.telemetry_out, "w") as handle:
+            handle.write(prom_text)
+        print(f"[serve] wrote {args.telemetry_out}")
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(report, handle, indent=2)

@@ -39,11 +39,19 @@ TRACKED: dict[str, tuple[str, str, str, float]] = {
     "kernels": ("BENCH_kernels.json", "aggregate.speedup", "higher", 0.0),
     "store": ("BENCH_store.json", "speedup", "higher", 0.0),
     "obs": ("BENCH_obs.json", "overhead_fraction", "lower", 0.005),
+    # The enabled-path histogram ingest the serve hot loop pays once per
+    # request; the ns slack absorbs scheduler noise on shared runners.
+    "obs-observe": ("BENCH_obs.json", "observe_ns_per_call", "lower", 1500.0),
     "delta": ("BENCH_delta.json", "aggregate.speedup", "higher", 0.0),
     "scale": ("BENCH_scale.json", "speedup", "higher", 0.0),
     # warm_speedup saturates at the harness's SPEEDUP_CAP on any healthy
     # run, so this gate fires only when serve's caching actually breaks.
     "serve": ("BENCH_serve.json", "aggregate.warm_speedup", "higher", 0.0),
+    # Server-side /metrics p99 from the end-of-run /telemetry snapshot;
+    # the generous ms slack means this fires on collapse, not jitter.
+    "serve-telemetry": (
+        "BENCH_serve.json", "aggregate.telemetry_metrics_p99_ms", "lower", 100.0
+    ),
 }
 
 

@@ -17,6 +17,8 @@
     python -m repro trace export run.trace.jsonl run.json
     python -m repro serve trace.store --port 8787 --workers 4 --warm metrics
     python -m repro loadgen --port 8787 --users 200 --duration 10
+    python -m repro obs scrape --port 8787 --format json --out snap.json
+    python -m repro obs diff before.json after.json --fail-above 0.10
 
 Commands that read a trace (``info``, ``metrics``, ``communities``)
 accept either a TSV file or a columnar store directory and detect which
@@ -197,6 +199,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("src", help="source trace file (JSONL)")
     export.add_argument("dst", help="destination (.json -> Chrome trace-event, else JSONL)")
+
+    obs = sub.add_parser(
+        "obs", help="scrape and compare live telemetry from a running serve instance"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    scrape = obs_sub.add_parser(
+        "scrape", help="fetch /telemetry from a running server"
+    )
+    scrape.add_argument("--host", default="127.0.0.1")
+    scrape.add_argument("--port", type=int, required=True, help="server port")
+    scrape.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="exposition format (json is the machine-diffable twin)",
+    )
+    scrape.add_argument(
+        "--out", default=None, help="write the snapshot to PATH (default: stdout)"
+    )
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two telemetry/trace snapshots as a regression table"
+    )
+    diff.add_argument("before", help="baseline snapshot (telemetry JSON or trace JSONL)")
+    diff.add_argument("after", help="candidate snapshot (telemetry JSON or trace JSONL)")
+    diff.add_argument(
+        "--fail-above", type=float, default=None, metavar="FRACTION",
+        help="exit 1 if any metric grew by more than FRACTION (e.g. 0.10 = +10%%)",
+    )
 
     return parser
 
@@ -596,6 +626,102 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scrape_telemetry(host: str, port: int, fmt: str) -> tuple[int, str]:
+    """Blocking GET of ``/telemetry?format=...``; ``(status, body_text)``."""
+    import socket
+
+    from repro.serve.protocol import http_request, parse_response_head
+
+    with socket.create_connection((host, port), timeout=30.0) as sock:
+        sock.sendall(http_request(f"/telemetry?format={fmt}", host))
+        buffer = b""
+        while b"\r\n\r\n" not in buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-response")
+            buffer += chunk
+        head, _, body = buffer.partition(b"\r\n\r\n")
+        status, headers = parse_response_head(head + b"\r\n\r\n")
+        length = int(headers.get("content-length", "0"))
+        while len(body) < length:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-body")
+            body += chunk
+    return status, body.decode("utf-8")
+
+
+def _load_snapshot(path: str) -> dict[str, float]:
+    """Load a snapshot file as flattened dotted numeric rows.
+
+    Accepts either a ``/telemetry`` JSON document (written by ``repro obs
+    scrape --format json``) or a ``--trace`` JSONL file, detected by
+    content: telemetry snapshots are a single JSON object, traces are
+    JSONL records that :func:`repro.obs.read_jsonl` can aggregate.
+    """
+    import json
+
+    from repro.obs import aggregate, flatten_numeric, read_jsonl
+
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline()
+        rest = handle.read()
+    try:
+        doc = json.loads(first + rest)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict):
+        return flatten_numeric(doc)
+    return flatten_numeric(aggregate(read_jsonl(path)))
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import diff_rows, render_diff
+
+    if args.obs_command == "scrape":
+        try:
+            status, body = _scrape_telemetry(args.host, args.port, args.format)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot scrape {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 1
+        if status != 200:
+            print(f"error: /telemetry answered {status}: {body!r}", file=sys.stderr)
+            return 1
+        if args.out:
+            Path(args.out).write_text(body if body.endswith("\n") else body + "\n",
+                                      encoding="utf-8")
+            print(f"obs: wrote {args.format} snapshot to {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(body if body.endswith("\n") else body + "\n")
+        return 0
+    try:
+        before = _load_snapshot(args.before)
+        after = _load_snapshot(args.after)
+    except OSError as exc:
+        print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = diff_rows(before, after)
+    print(render_diff(rows, threshold=args.fail_above))
+    if args.fail_above is not None:
+        regressed = [
+            row["metric"] for row in rows
+            if row["delta"] is not None and row["delta"] > args.fail_above
+        ]
+        if regressed:
+            print(
+                f"obs diff: {len(regressed)} metric(s) grew more than "
+                f"{100.0 * args.fail_above:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -607,6 +733,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "trace": _cmd_trace,
+    "obs": _cmd_obs,
 }
 
 

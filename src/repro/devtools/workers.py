@@ -54,6 +54,7 @@ WORKER_MANIFEST: dict[str, tuple[str, ...]] = {
     "repro.serve.workers._init_serve_worker": ("str", "NoneType", "int", "bool"),
     "repro.serve.workers._serve_request": ("str",),
     "repro.serve.workers._drain_trace": ("bool", "str"),
+    "repro.serve.workers._telemetry_snapshot": ("str",),
 }
 
 #: Worker callables exempt from the manifest, with a written reason.

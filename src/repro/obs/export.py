@@ -3,7 +3,7 @@
 Two on-disk forms of the same payload:
 
 * **JSONL** (the native interchange format) — a ``meta`` line, then one
-  line per lane/span/counter/gauge record.  Streams well, diffs well,
+  line per lane/span/counter/gauge/histogram record.  Streams well, diffs well,
   and :func:`read_jsonl` round-trips it losslessly back into a payload
   dict, which is what ``repro trace summarize|export`` consume.
 * **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` object
@@ -64,6 +64,13 @@ def write_jsonl(payload: dict[str, Any], path: str | os.PathLike[str]) -> None:
                      "value": lane["gauges"][name]}
                 )
             )
+        for name in sorted(lane.get("histograms", {})):
+            lines.append(
+                json.dumps(
+                    {"kind": "histogram", "lane": lane_id, "name": name,
+                     "data": lane["histograms"][name]}
+                )
+            )
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
@@ -99,8 +106,9 @@ def read_jsonl(path: str | os.PathLike[str]) -> dict[str, Any]:
                 "spans": [],
                 "counters": {},
                 "gauges": {},
+                "histograms": {},
             }
-        elif kind in ("span", "counter", "gauge"):
+        elif kind in ("span", "counter", "gauge", "histogram"):
             lane = lanes.get(int(record["lane"]))
             if lane is None:
                 raise ValueError(
@@ -118,6 +126,8 @@ def read_jsonl(path: str | os.PathLike[str]) -> dict[str, Any]:
                         "attrs": record.get("attrs", {}),
                     }
                 )
+            elif kind == "histogram":
+                lane["histograms"][str(record["name"])] = record["data"]
             else:
                 lane[kind + "s"][str(record["name"])] = record["value"]
         else:

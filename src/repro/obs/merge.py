@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.metrics import merge_histogram_dicts, quantile_summary
 from repro.obs.recorder import Recorder, SpanRecord, TraceRecorder
 
 __all__ = ["aggregate", "attach_shards", "lane_summary", "span_tree"]
@@ -55,8 +56,12 @@ def aggregate(payload: dict[str, Any]) -> dict[str, Any]:
     """Cross-lane rollup: per-span-name timing stats and summed counters.
 
     Returns ``{"spans": {name: {count, total_s, mean_ms}}, "counters":
-    {name: value}, "gauges": {name: {lane: value}}}`` with every mapping
-    sorted by key so rendering (and test comparison) is stable.
+    {name: value}, "gauges": {name: {lane: value}},
+    "histograms": {name: summary}}`` with every mapping sorted by key so
+    rendering (and test comparison) is stable.  Same-named histograms
+    from different lanes are merged bucket-wise before summarizing, so
+    cross-shard quantiles carry the same relative-error bound as a
+    single shard's.
     """
     spans: dict[str, dict[str, float]] = {}
     counters: dict[str, float] = {}
@@ -74,10 +79,16 @@ def aggregate(payload: dict[str, Any]) -> dict[str, Any]:
             gauges.setdefault(name, {})[lane_id] = value
     for row in spans.values():
         row["mean_ms"] = 1000.0 * row["total_s"] / row["count"] if row["count"] else 0.0
+    merged = merge_histogram_dicts(
+        [lane.get("histograms", {}) for lane in payload["lanes"]]
+    )
     return {
         "spans": {name: spans[name] for name in sorted(spans)},
         "counters": {name: counters[name] for name in sorted(counters)},
         "gauges": {name: dict(sorted(gauges[name].items())) for name in sorted(gauges)},
+        "histograms": {
+            name: quantile_summary(merged[name]) for name in sorted(merged)
+        },
     }
 
 

@@ -1,0 +1,430 @@
+"""Streaming metrics: log-bucket histograms, windowed rollups, tail sampling.
+
+The paper's analysis is distributional — §3 characterizes edge-creation
+dynamics through heavy-tailed distributions, not means — and a serving
+system under bursty load is the same: p99s and windows, not averages.
+This module gives the recorder (and the serve front) bounded-memory
+distribution tracking:
+
+* :class:`LogHistogram` — a fixed-size log-bucket histogram (the DDSketch
+  bucket layout).  With relative accuracy ``a``, buckets grow by
+  ``base = (1 + a)**2`` and every value is estimated at its bucket's
+  geometric midpoint, so any quantile estimate ``e`` of a true value
+  ``v`` inside the configured range satisfies ``|e - v| / v <= a``
+  (see :meth:`LogHistogram.quantile` for the derivation).  Bucket counts
+  are plain ints, merge is bucket-wise addition, and an exact
+  count/sum/min/max sidecar rides along so means and extremes are never
+  approximated.
+* :class:`WindowedHistogram` — a ring of per-interval histogram slots
+  plus an all-time total, answering "rate and p99 over the last
+  1s/10s/60s" in O(slots) without storing samples.
+* :class:`TailSampler` — deterministic tail-biased span sampling: spans
+  at or over a latency threshold are always kept, the rest are kept with
+  a fixed probability decided by a counter-mode splitmix64 stream seeded
+  per lane.  No stdlib ``random``, no numpy: the same ``(seed, lane)``
+  and the same sequence of durations always yield the same decisions
+  (RPL002-compliant by construction).
+
+Everything here is stdlib-only and clock-free — callers pass ``now`` in —
+so the module stays at import-layer 0 with :mod:`repro.obs` itself.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "DEFAULT_LATENCY",
+    "HistogramConfig",
+    "LogHistogram",
+    "QUANTILES",
+    "TailSampler",
+    "WindowedHistogram",
+    "merge_histogram_dicts",
+    "prometheus_escape",
+    "prometheus_lines",
+    "quantile_summary",
+]
+
+#: The quantiles every summary/exposition surface reports.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class HistogramConfig:
+    """Bucket layout: ``[lo, hi)`` split into log-spaced buckets.
+
+    ``rel_error`` is the guaranteed relative accuracy ``a`` of quantile
+    estimates for values inside ``[lo, hi)``; the bucket growth factor is
+    ``(1 + a)**2``.  Values below ``lo`` (or ``<= 0``) land in the
+    underflow bucket and are estimated at the exact observed minimum;
+    values at or above the last bucket bound (the first power of ``base``
+    at or past ``hi``) land in the overflow bucket and are estimated at
+    the exact observed maximum — so out-of-range mass is
+    pessimistic only about *shape*, never about extremes.
+    """
+
+    lo: float = 1e-5
+    hi: float = 1e3
+    rel_error: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rel_error < 1.0:
+            raise ValueError(f"rel_error must be in (0, 1), got {self.rel_error}")
+        if not 0.0 < self.lo < self.hi:
+            raise ValueError(f"need 0 < lo < hi, got lo={self.lo} hi={self.hi}")
+
+    @property
+    def base(self) -> float:
+        """Bucket growth factor ``(1 + rel_error)**2``."""
+        return (1.0 + self.rel_error) ** 2
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of in-range buckets covering ``[lo, hi)``."""
+        return max(1, math.ceil(math.log(self.hi / self.lo) / math.log(self.base)))
+
+
+#: Latency-tuned default: 10 us .. ~16 min at 5% relative error
+#: (189 buckets, so a histogram is a few KB of ints).
+DEFAULT_LATENCY = HistogramConfig()
+
+_BOUNDS_CACHE: dict[HistogramConfig, tuple[float, ...]] = {}
+
+
+def _bounds(config: HistogramConfig) -> tuple[float, ...]:
+    """Ascending bucket *upper* bounds for ``config`` (cached per config)."""
+    cached = _BOUNDS_CACHE.get(config)
+    if cached is None:
+        base = config.base
+        cached = tuple(config.lo * base ** (i + 1) for i in range(config.bucket_count))
+        _BOUNDS_CACHE[config] = cached
+    return cached
+
+
+class LogHistogram:
+    """A mergeable fixed-size log-bucket histogram with an exact sidecar.
+
+    Bucket ``i`` covers ``[lo * base**i, lo * base**(i+1))``; membership
+    is decided by binary search over precomputed bounds, so ``observe``
+    costs one bisect plus integer adds — no ``log`` calls, no float
+    boundary slop.  ``count``/``sum``/``min``/``max`` are tracked exactly
+    alongside the buckets.
+    """
+
+    __slots__ = (
+        "_upper",
+        "buckets",
+        "config",
+        "count",
+        "maximum",
+        "minimum",
+        "overflow",
+        "total",
+        "underflow",
+    )
+
+    def __init__(self, config: HistogramConfig = DEFAULT_LATENCY) -> None:
+        self.config = config
+        self._upper = _bounds(config)
+        self.buckets = [0] * config.bucket_count
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample (any finite float; sub-``lo`` underflows)."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if value < self.config.lo:
+            self.underflow += 1
+        elif value >= self._upper[-1]:
+            self.overflow += 1
+        else:
+            self.buckets[bisect_right(self._upper, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile; 0.0 when empty.
+
+        Error bound: a value ``v`` in bucket ``i`` satisfies
+        ``B <= v < B * (1+a)**2`` for ``B = lo * base**i``; the estimate
+        is the geometric midpoint ``e = B * (1+a)``, so
+        ``e / v`` lies in ``(1/(1+a), 1+a]`` and ``|e - v| / v <= a``
+        with ``a = config.rel_error``.  Underflow/overflow mass is
+        estimated at the exact observed min/max, and every estimate is
+        clamped into ``[min, max]``, which can only shrink the error.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        assert self.minimum is not None and self.maximum is not None
+        rank = max(1, math.ceil(q * self.count))
+        seen = self.underflow
+        if rank <= seen:
+            return self.minimum
+        gamma = 1.0 + self.config.rel_error
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            seen += n
+            if rank <= seen:
+                lower = self.config.lo if i == 0 else self._upper[i - 1]
+                return min(max(lower * gamma, self.minimum), self.maximum)
+        return self.maximum
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Bucket-wise add ``other`` into this histogram (config must match)."""
+        if other.config != self.config:
+            raise ValueError(
+                f"cannot merge histograms with different configs: "
+                f"{self.config} vs {other.config}"
+            )
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            if self.minimum is None or other.minimum < self.minimum:
+                self.minimum = other.minimum
+        if other.maximum is not None:
+            if self.maximum is None or other.maximum > self.maximum:
+                self.maximum = other.maximum
+
+    # -- interchange ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: config, exact sidecar, sparse nonzero buckets."""
+        return {
+            "lo": self.config.lo,
+            "hi": self.config.hi,
+            "rel_error": self.config.rel_error,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "buckets": {str(i): n for i, n in enumerate(self.buckets) if n},
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output (lossless)."""
+        config = HistogramConfig(
+            lo=float(payload["lo"]),
+            hi=float(payload["hi"]),
+            rel_error=float(payload["rel_error"]),
+        )
+        hist = LogHistogram(config)
+        hist.count = int(payload["count"])
+        hist.total = float(payload["sum"])
+        hist.minimum = None if payload["min"] is None else float(payload["min"])
+        hist.maximum = None if payload["max"] is None else float(payload["max"])
+        hist.underflow = int(payload["underflow"])
+        hist.overflow = int(payload["overflow"])
+        for key, n in payload["buckets"].items():
+            hist.buckets[int(key)] = int(n)
+        return hist
+
+
+class WindowedHistogram:
+    """A ring of per-interval histogram slots plus an all-time total.
+
+    ``observe(value, now)`` files the sample under tick
+    ``floor(now / interval)``; :meth:`rollup` merges the last
+    ``window / interval`` ticks bucket-wise, so "p99 over the last 10s"
+    is a read over at most ``slots`` small histograms.  Stale ring slots
+    are lazily recycled when their index comes around again, so memory is
+    fixed at ``slots + 1`` histograms regardless of uptime.
+    """
+
+    __slots__ = ("_ring", "config", "interval", "slots", "total")
+
+    def __init__(
+        self,
+        config: HistogramConfig = DEFAULT_LATENCY,
+        interval: float = 1.0,
+        slots: int = 120,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.config = config
+        self.interval = interval
+        self.slots = slots
+        self.total = LogHistogram(config)
+        self._ring: list[tuple[int, LogHistogram] | None] = [None] * slots
+
+    def observe(self, value: float, now: float) -> None:
+        """Record ``value`` at monotonic time ``now`` (seconds)."""
+        self.total.observe(value)
+        tick = int(now // self.interval)
+        index = tick % self.slots
+        slot = self._ring[index]
+        if slot is None or slot[0] != tick:
+            slot = (tick, LogHistogram(self.config))
+            self._ring[index] = slot
+        slot[1].observe(value)
+
+    def rollup(self, window: float, now: float) -> LogHistogram:
+        """Merged histogram of samples in the last ``window`` seconds."""
+        ticks = min(self.slots, max(1, math.ceil(window / self.interval)))
+        newest = int(now // self.interval)
+        merged = LogHistogram(self.config)
+        for slot in self._ring:
+            if slot is not None and newest - ticks < slot[0] <= newest:
+                merged.merge(slot[1])
+        return merged
+
+    def rate(self, window: float, now: float) -> float:
+        """Samples per second over the last ``window`` seconds."""
+        return self.rollup(window, now).count / window if window > 0 else 0.0
+
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(state: int) -> int:
+    """One splitmix64 finalization round (Steele et al., 64-bit mix)."""
+    z = state & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class TailSampler:
+    """Deterministic tail-biased keep/drop decisions for span records.
+
+    Spans with duration ``>= threshold`` are always kept (the tail is the
+    signal); shorter spans are kept with probability ``rate``, decided by
+    a counter-mode splitmix64 stream keyed on ``(seed, lane)``.  The
+    decision sequence is a pure function of the constructor arguments and
+    the order of :meth:`keep` calls — no global RNG state, no clock.
+    """
+
+    __slots__ = ("_state", "kept", "rate", "seen", "threshold")
+
+    def __init__(
+        self,
+        threshold: float = 0.050,
+        rate: float = 0.01,
+        seed: int = 0,
+        lane: int = 0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self.rate = rate
+        self._state = _splitmix64((seed * 0x632BE59BD9B4E019 + lane) & _MASK64)
+        self.seen = 0
+        self.kept = 0
+
+    def keep(self, duration: float) -> bool:
+        """Decide whether a span of ``duration`` seconds is recorded."""
+        self.seen += 1
+        if duration >= self.threshold:
+            self.kept += 1
+            return True
+        self._state = (self._state + _GOLDEN) & _MASK64
+        if _splitmix64(self._state) < self.rate * 2.0**64:
+            self.kept += 1
+            return True
+        return False
+
+
+def merge_histogram_dicts(
+    shards: list[dict[str, dict[str, Any]]],
+) -> dict[str, LogHistogram]:
+    """Merge per-shard ``{name: histogram-dict}`` maps bucket-wise.
+
+    The cross-lane rollup: every shard contributes its serialized
+    histograms (:meth:`LogHistogram.to_dict` payloads) and same-named
+    histograms are merged by bucket addition.  Mismatched configs under
+    one name raise ``ValueError`` — a config change is a schema change.
+    """
+    merged: dict[str, LogHistogram] = {}
+    for shard in shards:
+        for name in sorted(shard):
+            hist = LogHistogram.from_dict(shard[name])
+            into = merged.get(name)
+            if into is None:
+                merged[name] = hist
+            else:
+                into.merge(hist)
+    return merged
+
+
+def quantile_summary(hist: LogHistogram) -> dict[str, float | None]:
+    """The standard summary row: exact sidecar stats plus p50/p95/p99."""
+    row: dict[str, float | None] = {
+        "count": float(hist.count),
+        "sum": hist.total,
+        "mean": hist.mean,
+        "min": hist.minimum,
+        "max": hist.maximum,
+    }
+    for q in QUANTILES:
+        row[f"p{int(q * 100)}"] = hist.quantile(q)
+    return row
+
+
+def prometheus_escape(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{prometheus_escape(str(labels[key]))}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_lines(
+    name: str, labels: dict[str, str], hist: LogHistogram
+) -> list[str]:
+    """Prometheus text-exposition lines for one histogram series.
+
+    Emits cumulative ``_bucket{le=...}`` samples at every *occupied*
+    bucket's upper bound (plus ``+Inf``), then ``_sum`` and ``_count``.
+    Underflow mass is cumulative from the first bound on; skipping empty
+    buckets keeps the output compact without breaking monotonicity.
+    """
+    lines: list[str] = []
+    cumulative = hist.underflow
+    bounds = _bounds(hist.config)
+    for i, n in enumerate(hist.buckets):
+        if not n:
+            continue
+        cumulative += n
+        labelled = _label_str({**labels, "le": f"{bounds[i]:.6g}"})
+        lines.append(f"{name}_bucket{labelled} {cumulative}")
+    labelled = _label_str({**labels, "le": "+Inf"})
+    lines.append(f"{name}_bucket{labelled} {hist.count}")
+    lines.append(f"{name}_sum{_label_str(labels)} {hist.total:.9g}")
+    lines.append(f"{name}_count{_label_str(labels)} {hist.count}")
+    return lines

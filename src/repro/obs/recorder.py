@@ -37,6 +37,8 @@ from contextlib import AbstractContextManager, contextmanager
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.metrics import DEFAULT_LATENCY, HistogramConfig, LogHistogram, TailSampler
+
 __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
@@ -159,6 +161,10 @@ class Recorder:
         """Record ``value`` for gauge ``name``; the maximum is kept."""
         raise NotImplementedError
 
+    def observe(self, name: str, value: float) -> None:
+        """File ``value`` into the streaming histogram ``name``."""
+        raise NotImplementedError
+
 
 class NullRecorder(Recorder):
     """The disabled path: every operation is a constant-time no-op.
@@ -179,6 +185,9 @@ class NullRecorder(Recorder):
     def gauge(self, name: str, value: float) -> None:
         return None
 
+    def observe(self, name: str, value: float) -> None:
+        return None
+
 
 class TraceRecorder(Recorder):
     """An in-memory span/counter collector for one process (one lane).
@@ -188,11 +197,26 @@ class TraceRecorder(Recorder):
     index``, so the merged trace is identical however the OS scheduled
     the worker processes.  The operating-system pid is recorded purely as
     informational metadata.
+
+    ``observe(name, value)`` feeds fixed-size streaming histograms
+    (:class:`repro.obs.metrics.LogHistogram`), so distributions are
+    tracked at bounded memory alongside spans.  Long-running processes
+    (the serve workers) additionally pass a
+    :class:`~repro.obs.metrics.TailSampler` and a ``max_spans`` cap:
+    spans over the sampler's latency threshold are always kept, the rest
+    probabilistically, and drops are counted under ``obs.spans_dropped``.
     """
 
     enabled = True
 
-    def __init__(self, lane: int = 0, label: str = "main") -> None:
+    def __init__(
+        self,
+        lane: int = 0,
+        label: str = "main",
+        sampler: TailSampler | None = None,
+        max_spans: int | None = None,
+        histogram_config: HistogramConfig = DEFAULT_LATENCY,
+    ) -> None:
         self.lane = lane
         self.label = label
         self.pid = os.getpid()
@@ -200,8 +224,28 @@ class TraceRecorder(Recorder):
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, LogHistogram] = {}
         self.shards: list[dict[str, Any]] = []
+        self.sampler = sampler
+        self.max_spans = max_spans
+        self._histogram_config = histogram_config
         self._stack: list[str] = []
+
+    def _keep_span(self, duration: float) -> bool:
+        """Sampling decision for one finished span.
+
+        The sampler is consulted first even when the buffer is full, so
+        its decision stream stays a pure function of the span sequence —
+        two runs of the same work agree on which spans were *sampled*
+        regardless of buffer pressure.
+        """
+        kept = self.sampler is None or self.sampler.keep(duration)
+        if kept and (self.max_spans is None or len(self.spans) < self.max_spans):
+            return True
+        self.counters["obs.spans_dropped"] = (
+            self.counters.get("obs.spans_dropped", 0) + 1
+        )
+        return False
 
     @contextmanager
     def _span(self, name: str, attrs: dict[str, Any]) -> Iterator[None]:
@@ -214,16 +258,17 @@ class TraceRecorder(Recorder):
         finally:
             ended = time.perf_counter()
             self._stack.pop()
-            self.spans.append(
-                SpanRecord(
-                    name=name,
-                    start=began - self.epoch,
-                    duration=ended - began,
-                    depth=depth,
-                    parent=parent,
-                    attrs=tuple(sorted(attrs.items())),
+            if self._keep_span(ended - began):
+                self.spans.append(
+                    SpanRecord(
+                        name=name,
+                        start=began - self.epoch,
+                        duration=ended - began,
+                        depth=depth,
+                        parent=parent,
+                        attrs=tuple(sorted(attrs.items())),
+                    )
                 )
-            )
 
     def span(self, name: str, **attrs: Any) -> AbstractContextManager[None]:
         return self._span(name, attrs)
@@ -235,6 +280,13 @@ class TraceRecorder(Recorder):
         current = self.gauges.get(name)
         if current is None or value > current:
             self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = LogHistogram(self._histogram_config)
+            self.histograms[name] = hist
+        hist.observe(value)
 
     # -- shard interchange ---------------------------------------------
 
@@ -252,6 +304,10 @@ class TraceRecorder(Recorder):
             "spans": [span.as_dict() for span in self.spans],
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
         }
 
     def attach_shard(self, shard: dict[str, Any]) -> None:

@@ -1,10 +1,14 @@
-"""Human-readable rendering: trace summaries and runtime profiles.
+"""Human-readable rendering: trace summaries, profiles, telemetry diffs.
 
 :func:`render_trace` is what ``repro trace summarize`` prints — per-span
-timing rollups, counters, and one row per lane.  :func:`render_profile`
-renders the runtime's ``MetricTimeseries.profile`` dict (backend, cache
-hit/miss, per-metric wall time, per-worker attribution); it subsumes the
-ad-hoc ``_print_profile`` table the CLI used to carry.
+timing rollups, counters, histograms, and one row per lane.
+:func:`render_profile` renders the runtime's ``MetricTimeseries.profile``
+dict (backend, cache hit/miss, per-metric wall time, per-worker
+attribution); it subsumes the ad-hoc ``_print_profile`` table the CLI
+used to carry.  :func:`flatten_numeric` / :func:`diff_rows` /
+:func:`render_diff` power ``repro obs diff``: two telemetry or trace
+snapshots flattened to dotted numeric rows and compared with percent
+deltas.
 """
 
 from __future__ import annotations
@@ -13,7 +17,13 @@ from typing import Any
 
 from repro.obs.merge import aggregate, lane_summary
 
-__all__ = ["render_profile", "render_trace"]
+__all__ = [
+    "diff_rows",
+    "flatten_numeric",
+    "render_diff",
+    "render_profile",
+    "render_trace",
+]
 
 
 def _format_count(value: float) -> str:
@@ -37,6 +47,19 @@ def render_trace(payload: dict[str, Any]) -> str:
         lines.append(f"{'counter':<44}{'value':>12}")
         for name, value in rollup["counters"].items():
             lines.append(f"{name:<44}{_format_count(value):>12}")
+    if rollup.get("histograms"):
+        lines.append("")
+        lines.append(
+            f"{'histogram':<32}{'count':>8}{'mean ms':>10}{'p50 ms':>10}"
+            f"{'p95 ms':>10}{'p99 ms':>10}{'max ms':>10}"
+        )
+        for name, row in rollup["histograms"].items():
+            maximum = row["max"] if row["max"] is not None else 0.0
+            lines.append(
+                f"{name:<32}{int(row['count']):>8d}{1000.0 * row['mean']:>10.2f}"
+                f"{1000.0 * row['p50']:>10.2f}{1000.0 * row['p95']:>10.2f}"
+                f"{1000.0 * row['p99']:>10.2f}{1000.0 * maximum:>10.2f}"
+            )
     lines.append("")
     lines.append(f"{'lane':>6}  {'label':<14}{'pid':>8}{'spans':>8}{'busy s':>10}{'peak MB':>10}")
     for row in lane_summary(payload):
@@ -77,4 +100,74 @@ def render_profile(profile: dict[str, Any]) -> str:
                 f"{row['worker']:>8d}  {row.get('label', '-'):<14}"
                 f"{row['snapshots']:>10d}{row['seconds']:>10.3f}{cache:>11}"
             )
+    return "\n".join(lines)
+
+
+def flatten_numeric(tree: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to ``{"a.b.c": value}`` for numeric leaves.
+
+    The comparison basis for ``repro obs diff``: a ``/telemetry`` JSON
+    snapshot and a trace payload's :func:`aggregate` rollup both reduce
+    to dotted rows this way.  Lists and non-numeric leaves are skipped
+    (booleans included — they are flags, not measurements).
+    """
+    rows: dict[str, float] = {}
+    if isinstance(tree, dict):
+        for key in sorted(tree, key=str):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            rows.update(flatten_numeric(tree[key], path))
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        rows[prefix] = float(tree)
+    return rows
+
+
+def diff_rows(
+    before: dict[str, float], after: dict[str, float]
+) -> list[dict[str, Any]]:
+    """Row-wise comparison of two flattened snapshots.
+
+    Each row is ``{"metric", "before", "after", "delta"}`` where
+    ``delta`` is the signed fractional change ``(after - before) /
+    |before|``, or ``None`` when either side is missing or the baseline
+    is zero.
+    """
+    rows: list[dict[str, Any]] = []
+    for metric in sorted(set(before) | set(after)):
+        a = before.get(metric)
+        b = after.get(metric)
+        delta = None
+        if a is not None and b is not None and a != 0:
+            delta = (b - a) / abs(a)
+        rows.append({"metric": metric, "before": a, "after": b, "delta": delta})
+    return rows
+
+
+def render_diff(rows: list[dict[str, Any]], threshold: float | None = None) -> str:
+    """The regression table ``repro obs diff`` prints.
+
+    With ``threshold`` set, rows whose fractional increase exceeds it are
+    flagged with a trailing ``!`` — the CLI exits nonzero when any row is
+    flagged.
+    """
+
+    def _cell(value: float | None) -> str:
+        if value is None:
+            return "-"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.6g}"
+
+    lines = [f"{'metric':<52}{'before':>14}{'after':>14}{'delta':>10}"]
+    for row in rows:
+        delta = row["delta"]
+        if delta is None:
+            shown = "-"
+        else:
+            shown = f"{100.0 * delta:+.1f}%"
+            if threshold is not None and delta > threshold:
+                shown += " !"
+        lines.append(
+            f"{row['metric']:<52}{_cell(row['before']):>14}"
+            f"{_cell(row['after']):>14}{shown:>10}"
+        )
     return "\n".join(lines)

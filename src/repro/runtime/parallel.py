@@ -108,6 +108,7 @@ def _evaluate_rows(
     rows: list[Row] = []
     for index, time in indexed_times:
         node_before, edge_before = replay.node_cursor, replay.edge_cursor
+        stage_began = perf_counter()
         with rec.span("replay.advance", snapshot=index):
             view = replay.advance_to(time)
         if rec.enabled:
@@ -115,17 +116,24 @@ def _evaluate_rows(
                 "replay.events",
                 (replay.node_cursor - node_before) + (replay.edge_cursor - edge_before),
             )
+            rec.observe("replay.advance_seconds", perf_counter() - stage_began)
         if use_delta and engine is not None:
             engine.apply_view(view.new_nodes, view.new_edges)
         if view.graph.num_nodes == 0:
             continue
         csr = None
         if use_csr:
+            stage_began = perf_counter()
             with rec.span("kernels.csr_build", snapshot=index):
                 csr = CSRGraph.from_snapshot(view.graph)
+            if rec.enabled:
+                rec.observe("kernels.csr_build_seconds", perf_counter() - stage_began)
         elif needs_csr and engine is not None:
+            stage_began = perf_counter()
             with rec.span("delta.csr_merge", snapshot=index):
                 csr = engine.to_csr()
+            if rec.enabled:
+                rec.observe("delta.csr_merge_seconds", perf_counter() - stage_began)
         if use_delta and engine is not None:
             fns = spec.build_delta(index, engine)
         else:
@@ -139,6 +147,8 @@ def _evaluate_rows(
                 began = perf_counter()
                 values.append(fns[name](view.graph, csr))
                 seconds.append(perf_counter() - began)
+            if rec.enabled:
+                rec.observe(f"metric.{name}.seconds", seconds[-1])
         rows.append((index, time, values, seconds))
         if rec.enabled:
             rec.count("runtime.snapshots", 1)

@@ -17,7 +17,11 @@ Every draw comes from ``default_rng((seed, user_id))``, so a load run's
 The run report (written to ``BENCH_serve.json`` by the benchmark
 harness) carries per-endpoint and aggregate p50/p95/p99 latency,
 throughput, and 5xx counts — the numbers the CI bench-regression gate
-tracks.
+tracks.  Latencies stream into fixed-size log-bucket histograms
+(:class:`repro.obs.metrics.LogHistogram`) as they arrive, so a load run
+holds O(endpoints) memory however long it runs, and reported quantiles
+carry the histogram's documented relative-error bound (5% by default)
+instead of being exact over an unbounded sample list.
 """
 
 from __future__ import annotations
@@ -29,10 +33,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.obs import get_recorder, perf_counter
+from repro.obs import LogHistogram, get_recorder, perf_counter
 from repro.serve.protocol import http_request, parse_response_head
 
-__all__ = ["LoadConfig", "PROFILES", "run_loadgen"]
+__all__ = ["LoadConfig", "LoadStats", "PROFILES", "run_loadgen"]
 
 #: Request-mix profiles: name -> ((endpoint, weight), ...).  Weights are
 #: normalized at draw time, so they only need to be relative.
@@ -100,22 +104,48 @@ def _raise_nofile_limit(users: int) -> None:
         pass
 
 
+class LoadStats:
+    """Streaming accumulation for one load run: bounded, mergeable.
+
+    One :class:`~repro.obs.metrics.LogHistogram` per endpoint replaces
+    the historical unbounded ``list`` of every latency sample — the run
+    report reads quantiles straight off the buckets, so memory is fixed
+    no matter the duration.
+    """
+
+    __slots__ = ("errors", "histograms", "requests", "responses_5xx")
+
+    def __init__(self) -> None:
+        self.histograms: dict[str, LogHistogram] = {}
+        self.requests = 0
+        self.responses_5xx: Counter[str] = Counter()
+        self.errors: Counter[str] = Counter()
+
+    def record(self, endpoint: str, status: int, latency_s: float) -> None:
+        """File one completed request."""
+        self.requests += 1
+        hist = self.histograms.get(endpoint)
+        if hist is None:
+            hist = LogHistogram()
+            self.histograms[endpoint] = hist
+        hist.observe(latency_s)
+        if status >= 500:
+            self.responses_5xx[endpoint] += 1
+
+
 async def _run(config: LoadConfig) -> dict[str, Any]:
     end_time = await _discover_end_time(config)
-    samples: list[tuple[str, int, float]] = []
-    errors: Counter[str] = Counter()
+    stats = LoadStats()
     rec = get_recorder()
     epoch = perf_counter()
     with rec.span("loadgen.run", users=config.users, mix=config.mix):
         tasks = [
-            asyncio.create_task(
-                _user(config, user_id, epoch, end_time, samples, errors)
-            )
+            asyncio.create_task(_user(config, user_id, epoch, end_time, stats))
             for user_id in range(config.users)
         ]
         await asyncio.gather(*tasks)
     elapsed = perf_counter() - epoch
-    return _report(config, samples, errors, elapsed)
+    return _report(config, stats, elapsed)
 
 
 async def _discover_end_time(config: LoadConfig) -> float:
@@ -143,8 +173,7 @@ async def _user(
     user_id: int,
     epoch: float,
     end_time: float,
-    samples: list[tuple[str, int, float]],
-    errors: Counter[str],
+    stats: LoadStats,
 ) -> None:
     """One simulated user: a closed loop on one keep-alive connection."""
     rng = np.random.default_rng((config.seed, user_id))
@@ -159,7 +188,7 @@ async def _user(
             try:
                 reader, writer = await asyncio.open_connection(config.host, config.port)
             except OSError:
-                errors["connect"] += 1
+                stats.errors["connect"] += 1
                 await asyncio.sleep(0.05)
                 continue
         target = _pick_target(rng, config, end_time)
@@ -173,11 +202,11 @@ async def _user(
                 _read_response(reader), config.timeout
             )
         except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
-            errors["transport"] += 1
+            stats.errors["transport"] += 1
             writer.close()
             reader = writer = None
             continue
-        samples.append((endpoint, status, perf_counter() - began))
+        stats.record(endpoint, status, perf_counter() - began)
         think = float(rng.exponential(config.think_mean))
         if _in_burst(perf_counter() - epoch, config):
             think /= config.burst_factor
@@ -231,49 +260,48 @@ async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
 # -- reporting --------------------------------------------------------------
 
 
-def _percentiles(latencies_s: list[float]) -> dict[str, float]:
-    if not latencies_s:
+def _percentiles(hist: LogHistogram | None) -> dict[str, float]:
+    """The report's latency row, read straight off a streaming histogram.
+
+    Quantiles inherit the histogram's documented relative-error bound
+    (``config.rel_error``, 5% by default); mean and max come from the
+    exact sidecar.
+    """
+    if hist is None or not hist.count:
         return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0}
-    arr = np.asarray(latencies_s, dtype=np.float64) * 1000.0
-    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
     return {
-        "p50_ms": float(p50),
-        "p95_ms": float(p95),
-        "p99_ms": float(p99),
-        "mean_ms": float(arr.mean()),
-        "max_ms": float(arr.max()),
+        "p50_ms": 1000.0 * hist.quantile(0.5),
+        "p95_ms": 1000.0 * hist.quantile(0.95),
+        "p99_ms": 1000.0 * hist.quantile(0.99),
+        "mean_ms": 1000.0 * hist.mean,
+        "max_ms": 1000.0 * (hist.maximum or 0.0),
     }
 
 
-def _report(
-    config: LoadConfig,
-    samples: list[tuple[str, int, float]],
-    errors: Counter[str],
-    elapsed: float,
-) -> dict[str, Any]:
+def _report(config: LoadConfig, stats: LoadStats, elapsed: float) -> dict[str, Any]:
     """The run report: aggregate + per-endpoint latency and error counts."""
-    by_endpoint: dict[str, list[tuple[int, float]]] = {}
-    for endpoint, status, latency in samples:
-        by_endpoint.setdefault(endpoint, []).append((status, latency))
     endpoints = {
         endpoint: {
-            "requests": len(rows),
-            "responses_5xx": sum(1 for status, _ in rows if status >= 500),
-            **_percentiles([latency for _, latency in rows]),
+            "requests": hist.count,
+            "responses_5xx": stats.responses_5xx.get(endpoint, 0),
+            **_percentiles(hist),
         }
-        for endpoint, rows in sorted(by_endpoint.items())
+        for endpoint, hist in sorted(stats.histograms.items())
     }
+    merged = LogHistogram()
+    for hist in stats.histograms.values():
+        merged.merge(hist)
     aggregate = {
-        "requests": len(samples),
+        "requests": stats.requests,
         "elapsed_seconds": elapsed,
-        "throughput_rps": len(samples) / elapsed if elapsed > 0 else 0.0,
-        "responses_5xx": sum(1 for _, status, _ in samples if status >= 500),
-        "transport_errors": sum(errors.values()),
-        **_percentiles([latency for _, _, latency in samples]),
+        "throughput_rps": stats.requests / elapsed if elapsed > 0 else 0.0,
+        "responses_5xx": sum(stats.responses_5xx.values()),
+        "transport_errors": sum(stats.errors.values()),
+        **_percentiles(merged),
     }
     return {
         "config": asdict(config),
         "aggregate": aggregate,
         "endpoints": endpoints,
-        "errors": dict(sorted(errors.items())),
+        "errors": dict(sorted(stats.errors.items())),
     }

@@ -38,6 +38,7 @@ from repro.runtime.spec import STANDARD_METRIC_NAMES
 __all__ = [
     "ENDPOINTS",
     "LOCAL_ENDPOINTS",
+    "TELEMETRY_FORMATS",
     "Query",
     "QueryError",
     "canonical_key",
@@ -170,7 +171,10 @@ ENDPOINTS: dict[str, dict[str, tuple[_Converter, Any]]] = {
 }
 
 #: Endpoints the front process answers without a worker round-trip.
-LOCAL_ENDPOINTS = ("/health", "/stats")
+LOCAL_ENDPOINTS = ("/health", "/stats", "/telemetry")
+
+#: ``/telemetry`` exposition formats (Prometheus text and its JSON twin).
+TELEMETRY_FORMATS = ("prometheus", "json")
 
 
 def parse_query(target: str) -> Query:
@@ -181,6 +185,20 @@ def parse_query(target: str) -> Query:
     """
     path, _, qs = target.partition("?")
     path = unquote(path)
+    if path == "/telemetry":
+        raw = dict(parse_qsl(qs, keep_blank_values=True))
+        fmt = raw.pop("format", "prometheus")
+        if raw:
+            raise QueryError(
+                400, "bad-request", f"unknown parameter(s) {sorted(raw)}"
+            )
+        if fmt not in TELEMETRY_FORMATS:
+            raise QueryError(
+                400,
+                "bad-request",
+                f"parameter format={fmt!r}: expected one of {list(TELEMETRY_FORMATS)}",
+            )
+        return Query(path, {"format": fmt})
     if path in LOCAL_ENDPOINTS:
         if qs:
             raise QueryError(400, "bad-request", f"{path} takes no parameters")
@@ -247,15 +265,21 @@ def error_body(status: int, code: str, message: str) -> str:
     return dumps({"error": {"status": status, "code": code, "message": message}})
 
 
-def envelope(status: int, cache: str, body: str) -> str:
+def envelope(status: int, cache: str, body: str, seconds: float | None = None) -> str:
     """The worker -> front response envelope (a JSON string payload).
 
     ``cache`` records how the worker answered: ``hit``/``miss`` (result
     or serve cache), ``memo`` (worker-side response memo), or ``none``
-    (no cache involved).  It never appears in the client-visible body,
-    so responses stay bit-identical across cache states.
+    (no cache involved).  ``seconds`` is the worker-side handling time
+    when freshly computed (memoized envelopes omit it) — the front
+    subtracts it from the round-trip to observe queue wait.  Neither
+    appears in the client-visible body, so responses stay bit-identical
+    across cache states.
     """
-    return dumps({"status": status, "cache": cache, "body": body})
+    payload: dict[str, Any] = {"status": status, "cache": cache, "body": body}
+    if seconds is not None:
+        payload["seconds"] = seconds
+    return dumps(payload)
 
 
 # -- minimal HTTP/1.1 framing ----------------------------------------------
@@ -271,13 +295,19 @@ _REASONS = {
 }
 
 
-def http_response(status: int, body: str, *, keep_alive: bool = True) -> bytes:
+def http_response(
+    status: int,
+    body: str,
+    *,
+    keep_alive: bool = True,
+    content_type: str = "application/json",
+) -> bytes:
     """Frame ``body`` as an HTTP/1.1 response with explicit length."""
     payload = body.encode("utf-8")
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(payload)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"

@@ -21,11 +21,17 @@ Operational contract:
 * **observability** — per-request spans and counters on the installed
   :mod:`repro.obs` recorder: ``serve.requests.<endpoint>``,
   ``serve.cache.<endpoint>.<hit|miss|memo>``, a ``serve.queue_depth``
-  peak gauge, and one obs lane per shard when tracing;
+  peak gauge, and one obs lane per shard when tracing.  Independent of
+  ``--trace``, the front keeps windowed per-endpoint latency and
+  queue-wait histograms and every shard keeps its own always-on
+  streaming histograms; ``/telemetry`` exposes both (Prometheus text or
+  a JSON twin via ``?format=json``), with shard histograms merged
+  bucket-wise on the same snapshot path ``/stats`` renders;
 * **determinism** — response bodies contain no timestamps, worker
   identities, or counters, so a given store + query answers with the
-  same bytes at any ``--workers`` setting (``/stats`` is the deliberate
-  exception: it reports this process's live counters).
+  same bytes at any ``--workers`` setting (``/stats`` and
+  ``/telemetry`` are the deliberate exceptions: they report this
+  process's live counters and histograms).
 """
 
 from __future__ import annotations
@@ -37,8 +43,21 @@ import sys
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
-from repro.obs import TraceRecorder, get_recorder, peak_rss_bytes, perf_counter
+from repro.obs import (
+    QUANTILES,
+    LogHistogram,
+    TraceRecorder,
+    WindowedHistogram,
+    get_recorder,
+    merge_histogram_dicts,
+    peak_rss_bytes,
+    perf_counter,
+    prometheus_escape,
+    prometheus_lines,
+    quantile_summary,
+)
 from repro.runtime import mp_context
 from repro.serve.protocol import (
     Query,
@@ -51,13 +70,25 @@ from repro.serve.protocol import (
     parse_request_head,
     shard_for,
 )
-from repro.serve.workers import _drain_trace, _serve_request, make_shard_pool
+from repro.serve.workers import (
+    _drain_trace,
+    _serve_request,
+    _telemetry_snapshot,
+    make_shard_pool,
+)
 from repro.store.reader import EventStore
 
 __all__ = ["ReproServer", "ServeConfig", "run_server"]
 
 #: ``--warm`` target -> the endpoint whose default query gets precomputed.
 WARM_TARGETS = {"metrics": "/metrics", "communities": "/communities"}
+
+#: ``/telemetry`` rollup windows: label -> seconds.
+TELEMETRY_WINDOWS = (("1s", 1.0), ("10s", 10.0), ("60s", 60.0))
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json"
 
 
 @dataclass(frozen=True)
@@ -102,6 +133,9 @@ class ReproServer:
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._inflight = 0
+        self._shard_inflight: list[int] = [0] * config.workers
+        self._latency: dict[str, WindowedHistogram] = {}
+        self._queue_wait: dict[str, LogHistogram] = {}
         self._accepting = False
         self._epoch = perf_counter()
 
@@ -236,11 +270,15 @@ class ReproServer:
                 if rec.enabled:
                     rec.gauge("serve.queue_depth", self._inflight)
                 try:
-                    status, body, close = await self._respond(head)
+                    status, body, close, content_type = await self._respond(head)
                 finally:
                     self._inflight -= 1
                 self.statuses[status] += 1
-                writer.write(http_response(status, body, keep_alive=not close))
+                writer.write(
+                    http_response(
+                        status, body, keep_alive=not close, content_type=content_type
+                    )
+                )
                 await writer.drain()
                 if close:
                     break
@@ -252,8 +290,8 @@ class ReproServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _respond(self, head: bytes) -> tuple[int, str, bool]:
-        """``(status, body, close_connection)`` for one raw request head."""
+    async def _respond(self, head: bytes) -> tuple[int, str, bool, str]:
+        """``(status, body, close_connection, content_type)`` for one head."""
         rec = get_recorder()
         # Until the head parses we cannot trust the framing, so default
         # to closing; once headers are in hand, honor the client's
@@ -271,21 +309,53 @@ class ReproServer:
             self.requests["invalid"] += 1
             if rec.enabled:
                 rec.count("serve.requests.invalid", 1)
-            return exc.status, error_body(exc.status, exc.code, exc.message), close
+            body = error_body(exc.status, exc.code, exc.message)
+            return exc.status, body, close, JSON_CONTENT_TYPE
         endpoint = query.endpoint
         self.requests[endpoint] += 1
         if rec.enabled:
             rec.count(f"serve.requests.{endpoint}", 1)
         if endpoint == "/health":
-            return 200, dumps({"status": "ok"}), close
-        if endpoint == "/stats":
-            return 200, self._stats_body(), close
+            return 200, dumps({"status": "ok"}), close, JSON_CONTENT_TYPE
+        if endpoint in ("/stats", "/telemetry"):
+            # One snapshot path feeds both views, so they cannot disagree.
+            snapshot = await self._snapshot()
+            if endpoint == "/stats":
+                return 200, self._stats_body(snapshot), close, JSON_CONTENT_TYPE
+            if query.params["format"] == "json":
+                return 200, dumps(snapshot["doc"]), close, JSON_CONTENT_TYPE
+            return 200, self._telemetry_prom(snapshot), close, PROMETHEUS_CONTENT_TYPE
         with rec.span("serve.request", endpoint=endpoint):
             status, cache, body = await self._dispatch(query)
         self.cache_events[f"{endpoint}:{cache}"] += 1
         if rec.enabled and cache != "none":
             rec.count(f"serve.cache.{endpoint}.{cache}", 1)
-        return status, body, close
+        return status, body, close, JSON_CONTENT_TYPE
+
+    def _observe_request(
+        self, endpoint: str, elapsed: float, worker_seconds: float | None
+    ) -> None:
+        """File one front-side round-trip into the telemetry histograms.
+
+        ``worker_seconds`` is the worker's own handling time from the
+        response envelope; the difference is queue wait — pool queueing,
+        IPC, and event-loop scheduling.  Memoized responses omit the
+        field and count as pure queue wait (their handling is a dict
+        lookup); error paths pass ``None`` and skip the queue histogram.
+        """
+        now = perf_counter()
+        hist = self._latency.get(endpoint)
+        if hist is None:
+            hist = WindowedHistogram()
+            self._latency[endpoint] = hist
+        hist.observe(elapsed, now)
+        if worker_seconds is None:
+            return
+        wait = self._queue_wait.get(endpoint)
+        if wait is None:
+            wait = LogHistogram()
+            self._queue_wait[endpoint] = wait
+        wait.observe(max(0.0, elapsed - worker_seconds))
 
     async def _dispatch(self, query: Query) -> tuple[int, str, str]:
         """Route ``query`` to its shard; ``(status, cache, body)``.
@@ -294,33 +364,201 @@ class ReproServer:
         broken pool answers 503, both as typed envelopes.
         """
         key = canonical_key(query)
-        pool = self._pools[shard_for(key, len(self._pools))]
-        future = pool.submit(_serve_request, key)
+        shard = shard_for(key, len(self._pools))
+        pool = self._pools[shard]
+        began = perf_counter()
+        self._shard_inflight[shard] += 1
         try:
-            text = await asyncio.wait_for(
-                asyncio.wrap_future(future), self.config.timeout
-            )
-        except asyncio.TimeoutError:
-            message = f"query exceeded the {self.config.timeout:g}s budget"
-            return 504, "none", error_body(504, "timeout", message)
-        except Exception as exc:  # BrokenProcessPool and kin
-            message = f"{type(exc).__name__}: {exc}"
-            return 503, "none", error_body(503, "unavailable", message)
+            future = pool.submit(_serve_request, key)
+            try:
+                text = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self.config.timeout
+                )
+            except asyncio.TimeoutError:
+                self._observe_request(query.endpoint, perf_counter() - began, None)
+                message = f"query exceeded the {self.config.timeout:g}s budget"
+                return 504, "none", error_body(504, "timeout", message)
+            except Exception as exc:  # BrokenProcessPool and kin
+                self._observe_request(query.endpoint, perf_counter() - began, None)
+                message = f"{type(exc).__name__}: {exc}"
+                return 503, "none", error_body(503, "unavailable", message)
+        finally:
+            self._shard_inflight[shard] -= 1
         response = json.loads(text)
+        self._observe_request(
+            query.endpoint,
+            perf_counter() - began,
+            float(response.get("seconds", 0.0)),
+        )
         return int(response["status"]), str(response["cache"]), str(response["body"])
 
-    def _stats_body(self) -> str:
-        return dumps(
-            {
-                "workers": self.config.workers,
-                "inflight": self._inflight,
-                "uptime_seconds": perf_counter() - self._epoch,
-                "warm_seconds": self.warm_seconds,
-                "requests": dict(self.requests),
-                "statuses": {str(k): v for k, v in self.statuses.items()},
-                "cache": dict(self.cache_events),
+    # -- telemetry -----------------------------------------------------
+
+    async def _snapshot(self) -> dict[str, Any]:
+        """The one telemetry snapshot both ``/stats`` and ``/telemetry`` render.
+
+        Pulls every shard's live histograms/counters over the existing
+        pool path (non-destructive reads), merges same-named worker
+        histograms bucket-wise, and rolls up the front's windowed
+        latency.  Returns ``{"doc": json-ready snapshot, "front":
+        {endpoint: LogHistogram}, "queue": {endpoint: LogHistogram},
+        "worker": {name: LogHistogram}}`` — the raw histograms ride
+        along for the Prometheus renderer.
+        """
+        now = perf_counter()
+        shards: list[dict[str, Any]] = []
+        for index, pool in enumerate(self._pools):
+            entry: dict[str, Any] = {
+                "shard": index,
+                "inflight": self._shard_inflight[index],
             }
+            try:
+                text = await asyncio.wait_for(
+                    asyncio.wrap_future(pool.submit(_telemetry_snapshot)), 5.0
+                )
+                data = json.loads(text)
+            except Exception:  # a dead or wedged shard loses only telemetry
+                data = None
+            if data is None:
+                entry["error"] = "unavailable"
+            else:
+                entry.update(data)
+            shards.append(entry)
+        worker_hists = merge_histogram_dicts(
+            [entry.get("histograms", {}) for entry in shards]
         )
+        endpoints: dict[str, Any] = {}
+        front: dict[str, LogHistogram] = {}
+        for endpoint in sorted(self._latency):
+            windowed = self._latency[endpoint]
+            wait = self._queue_wait.get(endpoint)
+            windows = {}
+            for label, seconds in TELEMETRY_WINDOWS:
+                roll = windowed.rollup(seconds, now)
+                windows[label] = {
+                    "count": roll.count,
+                    "rate_rps": roll.count / seconds,
+                    "p99": roll.quantile(0.99),
+                }
+            endpoints[endpoint] = {
+                "latency": quantile_summary(windowed.total),
+                "queue_wait": None if wait is None else quantile_summary(wait),
+                "windows": windows,
+            }
+            front[endpoint] = windowed.total
+        doc = {
+            "workers": self.config.workers,
+            "inflight": self._inflight,
+            "uptime_seconds": now - self._epoch,
+            "warm_seconds": self.warm_seconds,
+            "requests": dict(self.requests),
+            "statuses": {str(k): v for k, v in self.statuses.items()},
+            "cache": dict(self.cache_events),
+            "shards": [
+                {k: v for k, v in entry.items() if k != "histograms"}
+                for entry in shards
+            ],
+            "endpoints": endpoints,
+            "worker_histograms": {
+                name: quantile_summary(worker_hists[name])
+                for name in sorted(worker_hists)
+            },
+        }
+        return {
+            "doc": doc,
+            "front": front,
+            "queue": dict(self._queue_wait),
+            "worker": worker_hists,
+        }
+
+    def _stats_body(self, snapshot: dict[str, Any]) -> str:
+        """The ``/stats`` view: the historic keys plus per-shard rows."""
+        doc = snapshot["doc"]
+        keys = (
+            "workers",
+            "inflight",
+            "uptime_seconds",
+            "warm_seconds",
+            "requests",
+            "statuses",
+            "cache",
+            "shards",
+        )
+        return dumps({key: doc[key] for key in keys})
+
+    def _telemetry_prom(self, snapshot: dict[str, Any]) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        doc = snapshot["doc"]
+        lines: list[str] = [
+            "# TYPE repro_serve_uptime_seconds gauge",
+            f"repro_serve_uptime_seconds {doc['uptime_seconds']:.3f}",
+            "# TYPE repro_serve_inflight gauge",
+            f"repro_serve_inflight {doc['inflight']}",
+            "# TYPE repro_serve_shard_inflight gauge",
+        ]
+        for entry in doc["shards"]:
+            lines.append(
+                f'repro_serve_shard_inflight{{shard="{entry["shard"]}"}} '
+                f"{entry['inflight']}"
+            )
+        for family, mapping, label in (
+            ("repro_serve_requests_total", doc["requests"], "endpoint"),
+            ("repro_serve_responses_total", doc["statuses"], "status"),
+            ("repro_serve_cache_events_total", doc["cache"], "event"),
+        ):
+            lines.append(f"# TYPE {family} counter")
+            for key in sorted(mapping):
+                lines.append(
+                    f'{family}{{{label}="{prometheus_escape(str(key))}"}} '
+                    f"{mapping[key]}"
+                )
+        lines.append("# TYPE repro_serve_request_latency_seconds histogram")
+        for endpoint in sorted(snapshot["front"]):
+            lines.extend(
+                prometheus_lines(
+                    "repro_serve_request_latency_seconds",
+                    {"endpoint": endpoint},
+                    snapshot["front"][endpoint],
+                )
+            )
+        lines.append("# TYPE repro_serve_request_latency_quantile_seconds gauge")
+        for endpoint in sorted(snapshot["front"]):
+            hist = snapshot["front"][endpoint]
+            for q in QUANTILES:
+                lines.append(
+                    f"repro_serve_request_latency_quantile_seconds"
+                    f'{{endpoint="{prometheus_escape(endpoint)}",quantile="{q:g}"}} '
+                    f"{hist.quantile(q):.9g}"
+                )
+        lines.append("# TYPE repro_serve_queue_wait_seconds histogram")
+        for endpoint in sorted(snapshot["queue"]):
+            lines.extend(
+                prometheus_lines(
+                    "repro_serve_queue_wait_seconds",
+                    {"endpoint": endpoint},
+                    snapshot["queue"][endpoint],
+                )
+            )
+        lines.append("# TYPE repro_serve_worker_latency_seconds histogram")
+        lines.append("# TYPE repro_serve_stage_seconds histogram")
+        for name in sorted(snapshot["worker"]):
+            hist = snapshot["worker"][name]
+            if name.startswith("serve.latency."):
+                endpoint = name[len("serve.latency."):]
+                lines.extend(
+                    prometheus_lines(
+                        "repro_serve_worker_latency_seconds",
+                        {"endpoint": endpoint},
+                        hist,
+                    )
+                )
+            else:
+                lines.extend(
+                    prometheus_lines(
+                        "repro_serve_stage_seconds", {"stage": name}, hist
+                    )
+                )
+        return "\n".join(lines) + "\n"
 
 
 async def run_server(config: ServeConfig) -> int:

@@ -38,30 +38,48 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
-from repro.obs import TraceRecorder, get_recorder, set_recorder
+from repro.obs import TailSampler, TraceRecorder, get_recorder, perf_counter, set_recorder
 from repro.serve.cache import ServeCache
 from repro.serve.protocol import QueryError, dumps, envelope, error_body, json_safe
 from repro.store.reader import EventStore
 
-__all__ = ["_drain_trace", "_init_serve_worker", "_serve_request", "make_shard_pool"]
+__all__ = [
+    "_drain_trace",
+    "_init_serve_worker",
+    "_serve_request",
+    "_telemetry_snapshot",
+    "make_shard_pool",
+]
 
 # Worker-process state, installed by _init_serve_worker (RPL032): the
 # memory-mapped store, the cache handles, and the bounded response memo.
 _STORE: EventStore | None = None
 _CACHE_DIR: str | None = None
 _SERVE_CACHE: ServeCache | None = None
-_MEMO: dict[str, str] = {}
+_MEMO: dict[str, tuple[str, str]] = {}
 _MEMO_LIMIT = 512
+
+#: Span-buffer bound for the always-on (non ``--trace``) worker recorder:
+#: with tail sampling this is weeks of serving, and it caps shard memory.
+_METRICS_MAX_SPANS = 10_000
+
+#: Tail-sampling policy for always-on workers: spans >= 50 ms are always
+#: kept, the rest at 1%.  Deterministic per lane (RPL002: no global RNG).
+_SAMPLE_THRESHOLD_S = 0.050
+_SAMPLE_RATE = 0.01
 
 
 def _init_serve_worker(
     store_path: str, cache_dir: str | None, shard: int, trace: bool
 ) -> None:
-    """Pool initializer: memmap the store, wire caches, optionally trace.
+    """Pool initializer: memmap the store, wire caches, install telemetry.
 
-    ``shard`` names this worker's deterministic hash-shard; under
-    tracing it becomes obs lane ``1 + shard`` (lane 0 is the front), so
-    merged traces are stable however the OS schedules the processes.
+    ``shard`` names this worker's deterministic hash-shard and becomes
+    obs lane ``1 + shard`` (lane 0 is the front), so merged traces are
+    stable however the OS schedules the processes.  A recorder is always
+    installed — latency/stage histograms feed ``/telemetry`` — but
+    without ``--trace`` it runs tail-biased span sampling plus a span
+    cap, so long-serving workers hold bounded trace state.
     """
     global _STORE, _CACHE_DIR, _SERVE_CACHE, _MEMO
     _STORE = EventStore(store_path, verify="lazy")
@@ -72,6 +90,19 @@ def _init_serve_worker(
     _MEMO = {}
     if trace:
         set_recorder(TraceRecorder(lane=1 + shard, label=f"shard-{shard}"))
+    else:
+        set_recorder(
+            TraceRecorder(
+                lane=1 + shard,
+                label=f"shard-{shard}",
+                sampler=TailSampler(
+                    threshold=_SAMPLE_THRESHOLD_S,
+                    rate=_SAMPLE_RATE,
+                    lane=1 + shard,
+                ),
+                max_spans=_METRICS_MAX_SPANS,
+            )
+        )
 
 
 def make_shard_pool(
@@ -110,9 +141,15 @@ def _serve_request(payload: str) -> str:
     typed error envelopes — a worker never raises across the pool
     boundary for a malformed or unanswerable query.
     """
+    began = perf_counter()
+    rec = get_recorder()
     memo = _MEMO.get(payload)
     if memo is not None:
-        return memo
+        endpoint, text = memo
+        if rec.enabled:
+            rec.count(f"serve.worker.{endpoint}.memo", 1)
+            rec.observe(f"serve.latency.{endpoint}", perf_counter() - began)
+        return text
     try:
         request = json.loads(payload)
         endpoint = request["endpoint"]
@@ -122,7 +159,6 @@ def _serve_request(payload: str) -> str:
         return envelope(
             400, "none", error_body(400, "bad-request", "malformed worker payload")
         )
-    rec = get_recorder()
     try:
         with rec.span("serve.worker", endpoint=endpoint):
             body, cache_status = handler(params)
@@ -135,13 +171,17 @@ def _serve_request(payload: str) -> str:
     except Exception as exc:  # pragma: no cover - defensive
         message = f"{type(exc).__name__}: {exc}"
         return envelope(500, "none", error_body(500, "internal", message))
+    elapsed = perf_counter() - began
     if rec.enabled:
         rec.count(f"serve.worker.{endpoint}.{cache_status}", 1)
+        rec.observe(f"serve.latency.{endpoint}", elapsed)
     if len(_MEMO) >= _MEMO_LIMIT:
         _MEMO.clear()
     # Memoized repeats report cache="memo"; the body bytes are identical.
-    _MEMO[payload] = envelope(200, "memo", body)
-    return envelope(200, cache_status, body)
+    # (The memo envelope carries no ``seconds`` — its handling time is
+    # the memo lookup, which the front rounds down to zero queue math.)
+    _MEMO[payload] = (endpoint, envelope(200, "memo", body))
+    return envelope(200, cache_status, body, seconds=elapsed)
 
 
 def _drain_trace(flush: bool = True) -> str:
@@ -158,8 +198,47 @@ def _drain_trace(flush: bool = True) -> str:
             rec.spans.clear()
             rec.counters.clear()
             rec.gauges.clear()
+            rec.histograms.clear()
         return json.dumps(shard)
     return "null"
+
+
+def _telemetry_snapshot() -> str:
+    """This worker's live telemetry as JSON (non-destructive).
+
+    The front submits this on every ``/stats`` / ``/telemetry`` request
+    and merges the per-shard histograms bucket-wise; unlike
+    :func:`_drain_trace` nothing is flushed, so the snapshot is a
+    monotone read of the shard's whole uptime.
+    """
+    rec = get_recorder()
+    if not isinstance(rec, TraceRecorder):  # pragma: no cover - defensive
+        return "null"
+    cache = {"hit": 0, "miss": 0, "memo": 0, "none": 0}
+    for name, value in rec.counters.items():
+        if name.startswith("serve.worker."):
+            status = name.rsplit(".", 1)[-1]
+            if status in cache:
+                cache[status] += int(value)
+    lookups = cache["hit"] + cache["miss"]
+    snapshot = {
+        "label": rec.label,
+        "pid": rec.pid,
+        "cache": cache,
+        "cache_hit_ratio": cache["hit"] / lookups if lookups else None,
+        "memo_entries": len(_MEMO),
+        "spans_kept": len(rec.spans),
+        "spans_dropped": int(rec.counters.get("obs.spans_dropped", 0)),
+        "sampler": (
+            None
+            if rec.sampler is None
+            else {"seen": rec.sampler.seen, "kept": rec.sampler.kept}
+        ),
+        "histograms": {
+            name: rec.histograms[name].to_dict() for name in sorted(rec.histograms)
+        },
+    }
+    return json.dumps(snapshot)
 
 
 # -- endpoint handlers ------------------------------------------------------

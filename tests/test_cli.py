@@ -131,3 +131,94 @@ class TestProfileAndBackend:
         out = capsys.readouterr().out
         assert "backend:" in out
         assert "mean ms" in out
+
+
+class TestObsCommand:
+    def test_diff_flags_regressions_and_sets_exit_code(self, tmp_path, capsys):
+        import json
+
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        before.write_text(json.dumps({"endpoints": {"/metrics": {"p99": 0.010}}}))
+        after.write_text(json.dumps({"endpoints": {"/metrics": {"p99": 0.030}}}))
+        assert main(["obs", "diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "endpoints./metrics.p99" in out
+        assert "+200.0%" in out
+        # With a threshold the same regression fails the command.
+        assert main([
+            "obs", "diff", str(before), str(after), "--fail-above", "0.10"
+        ]) == 1
+        assert "!" in capsys.readouterr().out
+
+    def test_diff_accepts_trace_jsonl_inputs(self, tmp_path, capsys):
+        from repro.obs import TraceRecorder, write_jsonl
+
+        paths = []
+        for run, latency in (("a", 0.01), ("b", 0.02)):
+            recorder = TraceRecorder(lane=0, label="main")
+            recorder.observe("serve.latency", latency)
+            recorder.count("requests", 5)
+            path = tmp_path / f"{run}.trace.jsonl"
+            write_jsonl(recorder.to_payload(), path)
+            paths.append(str(path))
+        assert main(["obs", "diff", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "histograms.serve.latency.max" in out
+        assert "counters.requests" in out
+
+    def test_diff_missing_file_is_an_error(self, tmp_path, capsys):
+        good = tmp_path / "a.json"
+        good.write_text("{}")
+        assert main(["obs", "diff", str(good), str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_scrape_unreachable_server_is_an_error(self, capsys):
+        # Port 1 on localhost: reliably refused, never listened on.
+        assert main(["obs", "scrape", "--host", "127.0.0.1", "--port", "1"]) == 1
+        assert "cannot scrape" in capsys.readouterr().err
+
+    def test_scrape_live_server_writes_snapshot(self, tmp_path, tiny_stream, capsys):
+        import asyncio
+        import json
+        import threading
+
+        from repro.serve import ReproServer, ServeConfig
+        from repro.store.convert import write_store
+
+        store = tmp_path / "tiny.store"
+        write_store(tiny_stream, store, chunk_events=512)
+        address: list = []
+        ready, done = threading.Event(), threading.Event()
+
+        def serve():
+            async def run():
+                server = ReproServer(ServeConfig(store_path=str(store)))
+                address.extend(await server.start())
+                ready.set()
+                while not done.is_set():
+                    await asyncio.sleep(0.05)
+                await server.stop()
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=60)
+        try:
+            out_path = tmp_path / "snap.json"
+            code = main([
+                "obs", "scrape", "--host", address[0], "--port", str(address[1]),
+                "--format", "json", "--out", str(out_path),
+            ])
+            assert code == 0
+            doc = json.loads(out_path.read_text())
+            assert "endpoints" in doc and "shards" in doc
+            prom_code = main([
+                "obs", "scrape", "--host", address[0], "--port", str(address[1]),
+            ])
+            assert prom_code == 0
+            assert "repro_serve_uptime_seconds" in capsys.readouterr().out
+        finally:
+            done.set()
+            thread.join(timeout=60)

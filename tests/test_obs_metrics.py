@@ -1,0 +1,314 @@
+"""Tests for :mod:`repro.obs.metrics`: histograms, windows, sampling.
+
+The load-bearing property is the documented quantile bound — every
+estimate within ``rel_error`` of the exact offline value — checked here
+against brute-force sorted-sample computation, alongside the merge
+algebra (bucket-wise addition with an exact min/max sidecar), the JSONL
+interchange, the windowed ring, and the deterministic tail sampler.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    HistogramConfig,
+    LogHistogram,
+    TailSampler,
+    TraceRecorder,
+    WindowedHistogram,
+    aggregate,
+    flatten_numeric,
+    merge_histogram_dicts,
+    prometheus_escape,
+    prometheus_lines,
+    quantile_summary,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+def _exact_quantile(values: list[float], q: float) -> float:
+    """The offline reference the histogram estimates: rank-ceil order stat."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestQuantileBound:
+    def test_estimates_within_documented_relative_error(self):
+        """Log-uniform samples spanning five decades: |e - v| / v <= a."""
+        rng = np.random.default_rng(7)
+        values = [float(v) for v in 10.0 ** rng.uniform(-4.0, 1.0, size=5000)]
+        hist = LogHistogram()
+        for value in values:
+            hist.observe(value)
+        a = hist.config.rel_error
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0):
+            exact = _exact_quantile(values, q)
+            estimate = hist.quantile(q)
+            assert abs(estimate - exact) / exact <= a + 1e-12, f"q={q}"
+
+    def test_tighter_config_gives_tighter_bound(self):
+        config = HistogramConfig(lo=1e-4, hi=10.0, rel_error=0.01)
+        rng = np.random.default_rng(3)
+        values = [float(v) for v in 10.0 ** rng.uniform(-3.0, 0.5, size=2000)]
+        hist = LogHistogram(config)
+        for value in values:
+            hist.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            exact = _exact_quantile(values, q)
+            assert abs(hist.quantile(q) - exact) / exact <= 0.01 + 1e-12
+
+    def test_extreme_quantiles_clamp_into_observed_range(self):
+        hist = LogHistogram()
+        for value in (0.003, 0.017, 0.4, 2.5):
+            hist.observe(value)
+        a = hist.config.rel_error
+        assert 0.003 <= hist.quantile(0.0) <= 0.003 * (1 + a)
+        assert 2.5 * (1 - a) <= hist.quantile(1.0) <= 2.5
+
+    def test_empty_histogram_answers_zero(self):
+        assert LogHistogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            LogHistogram().quantile(1.5)
+
+
+class TestMergeAlgebra:
+    def test_split_merge_equals_single_histogram(self):
+        rng = np.random.default_rng(11)
+        values = [float(v) for v in 10.0 ** rng.uniform(-4.0, 1.0, size=1000)]
+        whole = LogHistogram()
+        left, right = LogHistogram(), LogHistogram()
+        for i, value in enumerate(values):
+            whole.observe(value)
+            (left if i % 2 else right).observe(value)
+        left.merge(right)
+        assert left.buckets == whole.buckets
+        assert left.count == whole.count
+        # Summation order differs between the split and whole paths.
+        assert left.total == pytest.approx(whole.total, rel=1e-12)
+        assert (left.minimum, left.maximum) == (whole.minimum, whole.maximum)
+
+    def test_empty_merge_nonempty_both_directions(self):
+        filled = LogHistogram()
+        for value in (0.01, 0.1):
+            filled.observe(value)
+        empty = LogHistogram()
+        empty.merge(filled)
+        assert (empty.count, empty.minimum, empty.maximum) == (2, 0.01, 0.1)
+        fresh = LogHistogram()
+        filled.merge(fresh)
+        assert (filled.count, filled.minimum, filled.maximum) == (2, 0.01, 0.1)
+
+    def test_underflow_overflow_mass_merges_and_stays_exact(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.observe(1e-9)  # below lo -> underflow
+        b.observe(5e4)  # past the last bound -> overflow
+        b.observe(0.02)
+        a.merge(b)
+        assert a.underflow == 1
+        assert a.overflow == 1
+        assert a.count == 3
+        # Out-of-range mass is estimated at the exact observed extremes.
+        assert a.quantile(0.0) == 1e-9
+        assert a.quantile(1.0) == 5e4
+
+    def test_config_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different configs"):
+            LogHistogram().merge(LogHistogram(HistogramConfig(rel_error=0.01)))
+
+    def test_min_max_sidecar_survives_attach_shard(self):
+        """Worker extremes must reach the merged rollup exactly."""
+        main = TraceRecorder(lane=0, label="main")
+        main.observe("serve.latency", 0.020)
+        worker = TraceRecorder(lane=1, label="w0")
+        worker.observe("serve.latency", 0.0004)  # the true minimum
+        worker.observe("serve.latency", 3.5)  # the true maximum
+        main.attach_shard(worker.shard())
+        rollup = aggregate(main.to_payload())
+        row = rollup["histograms"]["serve.latency"]
+        assert row["count"] == 3.0
+        assert row["min"] == 0.0004
+        assert row["max"] == 3.5
+
+    def test_merge_histogram_dicts_is_bucket_wise(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.observe(0.01)
+        b.observe(0.01)
+        b.observe(0.5)
+        merged = merge_histogram_dicts(
+            [{"lat": a.to_dict()}, {"lat": b.to_dict()}, {}]
+        )
+        assert merged["lat"].count == 3
+        assert merged["lat"].buckets == [
+            x + y for x, y in zip(a.buckets, b.buckets)
+        ]
+
+
+class TestInterchange:
+    def test_dict_round_trip_is_lossless(self):
+        hist = LogHistogram()
+        for value in (1e-9, 0.003, 0.003, 0.25, 7e4):
+            hist.observe(value)
+        clone = LogHistogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone.config == hist.config
+        assert clone.buckets == hist.buckets
+        assert (clone.underflow, clone.overflow) == (1, 1)
+        assert (clone.count, clone.total) == (hist.count, hist.total)
+        assert (clone.minimum, clone.maximum) == (hist.minimum, hist.maximum)
+
+    def test_empty_histogram_round_trips_with_null_extremes(self):
+        payload = LogHistogram().to_dict()
+        assert payload["min"] is None and payload["max"] is None
+        clone = LogHistogram.from_dict(payload)
+        assert clone.count == 0 and clone.minimum is None
+
+    def test_jsonl_round_trip_preserves_histograms(self, tmp_path):
+        recorder = TraceRecorder(lane=0, label="main")
+        with recorder.span("work"):
+            pass
+        recorder.observe("latency", 0.012)
+        recorder.observe("latency", 0.21)
+        worker = TraceRecorder(lane=1, label="w0")
+        worker.observe("latency", 0.9)
+        recorder.attach_shard(worker.shard())
+        path = tmp_path / "run.trace.jsonl"
+        write_jsonl(recorder.to_payload(), path)
+        restored = read_jsonl(path)
+        lanes = {lane["lane"]: lane for lane in restored["lanes"]}
+        assert lanes[0]["histograms"]["latency"] == (
+            recorder.histograms["latency"].to_dict()
+        )
+        rollup = aggregate(restored)
+        assert rollup["histograms"]["latency"]["count"] == 3.0
+        assert rollup["histograms"]["latency"]["max"] == 0.9
+        # The diff path consumes the same rollup via flatten_numeric.
+        flat = flatten_numeric(rollup)
+        assert flat["histograms.latency.count"] == 3.0
+
+
+class TestWindowedHistogram:
+    def test_rollup_windows_and_rate(self):
+        win = WindowedHistogram(interval=1.0, slots=120)
+        for second in range(60):
+            win.observe(0.01, now=float(second))
+        now = 59.5
+        assert win.rollup(10.0, now).count == 10
+        assert win.rollup(60.0, now).count == 60
+        assert win.rate(10.0, now) == pytest.approx(1.0)
+        assert win.total.count == 60
+
+    def test_stale_slots_recycle(self):
+        win = WindowedHistogram(interval=1.0, slots=4)
+        win.observe(0.01, now=0.0)
+        win.observe(0.01, now=100.0)  # lands on a recycled slot
+        assert win.rollup(4.0, now=100.0).count == 1
+        assert win.total.count == 2
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            WindowedHistogram(interval=0.0)
+        with pytest.raises(ValueError, match="slots"):
+            WindowedHistogram(slots=0)
+
+
+class TestTailSampler:
+    def test_decisions_are_deterministic_per_seed_and_lane(self):
+        durations = [0.001 * (i % 40) for i in range(500)]
+        a = TailSampler(threshold=0.030, rate=0.1, seed=9, lane=2)
+        b = TailSampler(threshold=0.030, rate=0.1, seed=9, lane=2)
+        assert [a.keep(d) for d in durations] == [b.keep(d) for d in durations]
+        assert (a.seen, a.kept) == (b.seen, b.kept)
+
+    def test_lanes_decorrelate(self):
+        durations = [0.001] * 2000
+        lane_a = TailSampler(rate=0.5, seed=0, lane=1)
+        lane_b = TailSampler(rate=0.5, seed=0, lane=2)
+        assert [lane_a.keep(d) for d in durations] != [
+            lane_b.keep(d) for d in durations
+        ]
+
+    def test_tail_is_always_kept(self):
+        sampler = TailSampler(threshold=0.050, rate=0.0)
+        assert all(sampler.keep(0.050 + 0.01 * i) for i in range(100))
+        assert not any(sampler.keep(0.001) for _ in range(100))
+        assert (sampler.seen, sampler.kept) == (200, 100)
+
+    def test_rate_is_roughly_honoured(self):
+        sampler = TailSampler(threshold=1.0, rate=0.25, seed=4)
+        kept = sum(sampler.keep(0.001) for _ in range(20_000))
+        assert 0.22 < kept / 20_000 < 0.28
+
+    def test_recorder_drops_are_counted_not_lost(self):
+        recorder = TraceRecorder(
+            lane=1, label="w", sampler=TailSampler(threshold=10.0, rate=0.0)
+        )
+        for _ in range(25):
+            with recorder.span("fast"):
+                pass
+        assert recorder.spans == []
+        assert recorder.counters["obs.spans_dropped"] == 25
+        assert recorder.sampler is not None and recorder.sampler.seen == 25
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            TailSampler(rate=1.5)
+        with pytest.raises(ValueError, match="threshold"):
+            TailSampler(threshold=-1.0)
+
+
+class TestPrometheusRendering:
+    def test_bucket_lines_are_cumulative_and_end_at_count(self):
+        hist = LogHistogram()
+        for value in (1e-9, 0.01, 0.01, 0.3, 9e4):
+            hist.observe(value)
+        lines = prometheus_lines("repro_latency", {"endpoint": "/metrics"}, hist)
+        bucket_counts = [
+            int(line.rsplit(" ", 1)[1]) for line in lines if "_bucket" in line
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+        assert bucket_counts[-1] == hist.count  # the +Inf bucket
+        assert lines[-2].startswith('repro_latency_sum{endpoint="/metrics"}')
+        assert lines[-1] == f'repro_latency_count{{endpoint="/metrics"}} {hist.count}'
+
+    def test_label_escaping(self):
+        assert prometheus_escape('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestLoadgenPercentiles:
+    def test_report_quantiles_match_exact_offline_values(self):
+        """Satellite contract: loadgen p50/p95/p99 within the histogram bound."""
+        from repro.serve.loadgen import LoadStats, _percentiles
+
+        rng = np.random.default_rng(21)
+        latencies = [float(v) for v in 10.0 ** rng.uniform(-3.5, 0.0, size=4000)]
+        stats = LoadStats()
+        for latency in latencies:
+            stats.record("/metrics", 200, latency)
+        row = _percentiles(stats.histograms["/metrics"])
+        bound = stats.histograms["/metrics"].config.rel_error
+        for q, key in ((0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms")):
+            exact_ms = 1000.0 * _exact_quantile(latencies, q)
+            assert abs(row[key] - exact_ms) / exact_ms <= bound + 1e-12
+        assert row["max_ms"] == pytest.approx(1000.0 * max(latencies))
+        assert row["mean_ms"] == pytest.approx(
+            1000.0 * sum(latencies) / len(latencies)
+        )
+
+    def test_empty_stats_report_zeros(self):
+        from repro.serve.loadgen import _percentiles
+
+        assert _percentiles(None)["p99_ms"] == 0.0
+
+    def test_quantile_summary_keys(self):
+        hist = LogHistogram()
+        hist.observe(0.01)
+        row = quantile_summary(hist)
+        assert set(row) == {"count", "sum", "mean", "min", "max", "p50", "p95", "p99"}

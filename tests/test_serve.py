@@ -174,6 +174,20 @@ async def _fetch(host, port, target):
         await writer.wait_closed()
 
 
+async def _fetch_with_headers(host, port, target):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(http_request(target, host))
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status, headers = parse_response_head(head)
+        body = await reader.readexactly(int(headers.get("content-length", "0")))
+        return status, headers, body.decode()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
 def _serve_and_fetch(config, targets):
     """Start a server, fetch ``targets`` in order, stop; returns responses."""
 
@@ -350,6 +364,75 @@ class TestServerEndToEnd:
         err_head, _, err_body = err.partition(b"\r\n\r\n")
         assert b"404" in err_head.split(b"\r\n")[0]
         assert json.loads(err_body)["error"]["code"] == "not-found"
+
+    def test_stats_reports_per_shard_cache_and_inflight(self, tiny_store, tmp_path):
+        """Satellite contract: /stats carries worker-shard cache ratios."""
+        config = ServeConfig(
+            store_path=str(tiny_store), workers=2, cache_dir=str(tmp_path / "c")
+        )
+        responses = _serve_and_fetch(
+            config, ["/info", "/info", "/metrics?interval=20", "/stats"]
+        )
+        stats = json.loads(responses[-1][1])
+        assert stats["inflight"] >= 1  # the /stats request itself
+        assert len(stats["shards"]) == 2
+        lookups = 0
+        for shard in stats["shards"]:
+            assert set(shard["cache"]) == {"hit", "memo", "miss", "none"}
+            assert shard["inflight"] == 0
+            assert shard["spans_kept"] >= 0 and shard["spans_dropped"] >= 0
+            ratio = shard["cache_hit_ratio"]
+            assert ratio is None or 0.0 <= ratio <= 1.0
+            lookups += sum(shard["cache"].values())
+        # The repeated /info answered from a worker memo somewhere.
+        assert lookups >= 3
+
+    def test_telemetry_prometheus_and_json_twin(self, tiny_store, tmp_path):
+        config = ServeConfig(
+            store_path=str(tiny_store), workers=2, cache_dir=str(tmp_path / "c")
+        )
+
+        async def main():
+            server = ReproServer(config)
+            host, port = await server.start()
+            try:
+                await _fetch(host, port, "/info")
+                await _fetch(host, port, "/metrics?interval=20")
+                prom = await _fetch_with_headers(host, port, "/telemetry")
+                twin = await _fetch(host, port, "/telemetry?format=json")
+                bad = await _fetch(host, port, "/telemetry?format=xml")
+            finally:
+                await server.stop()
+            return prom, twin, bad
+
+        (prom_status, prom_headers, prom_body), twin, bad = asyncio.run(main())
+        assert prom_status == 200
+        assert prom_headers["content-type"].startswith("text/plain")
+        lines = prom_body.splitlines()
+        assert any(line.startswith("repro_serve_uptime_seconds ") for line in lines)
+        assert any(
+            line.startswith('repro_serve_requests_total{endpoint="/metrics"}')
+            for line in lines
+        )
+        assert any("repro_serve_request_latency_seconds_bucket" in line for line in lines)
+        doc = json.loads(twin[1])
+        assert twin[0] == 200
+        assert doc["workers"] == 2
+        metrics_row = doc["endpoints"]["/metrics"]
+        assert metrics_row["latency"]["count"] >= 1.0
+        assert set(metrics_row["windows"]) == {"1s", "10s", "60s"}
+        assert "serve.latency./metrics" in doc["worker_histograms"]
+        # Unknown formats are a client error, not a silent default.
+        assert bad[0] == 400
+        assert json.loads(bad[1])["error"]["code"] == "bad-request"
+
+    def test_telemetry_excluded_from_determinism_contract(self, tiny_store, tmp_path):
+        """Deterministic endpoints stay byte-identical; /telemetry may differ."""
+        config = ServeConfig(store_path=str(tiny_store), cache_dir=None)
+        first = _serve_and_fetch(config, ["/info", "/telemetry?format=json"])
+        second = _serve_and_fetch(config, ["/info", "/telemetry?format=json"])
+        assert first[0] == second[0]  # /info bodies byte-identical
+        assert first[1][0] == second[1][0] == 200  # /telemetry just answers
 
     def test_rejects_non_store_path(self, tmp_path):
         with pytest.raises(ValueError, match="not an event store"):
